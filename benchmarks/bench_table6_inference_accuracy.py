@@ -1,0 +1,125 @@
+"""Table 6 — test accuracy under various inference fanouts.
+
+For each dataset: train GraphSAGE with fanout (15,10,5), then evaluate the
+test set with full-neighborhood layer-wise inference and sampled inference
+at fanouts (20,20,20), (10,10,10), (5,5,5). Repeated over multiple seeds to
+produce the paper's mean ± std presentation.
+
+Expected shape (the Section 5 finding): fanout 20 matches full-neighborhood
+accuracy within noise; accuracy decays gently at 10 and more visibly at 5.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.train import (
+    Trainer,
+    accuracy,
+    get_config,
+    layerwise_full_inference,
+    mean_and_std,
+)
+from repro.telemetry import format_table
+
+from common import emit
+
+REPETITIONS = 3
+EPOCHS = {"arxiv": 15, "products": 30, "papers": 50}
+BATCH_SIZES = {"arxiv": 128, "products": 64, "papers": 64}
+PAPER_TABLE6 = {
+    "arxiv": {"all": 0.6985, "20": 0.6980, "10": 0.6980, "5": 0.6840},
+    "products": {"all": 0.7749, "20": 0.7755, "10": 0.7708, "5": 0.7558},
+    "papers": {"all": 0.6400, "20": 0.6390, "10": 0.6379, "5": 0.6290},
+}  # "all"/unlisted cells estimated from Table 6's visible entries
+FANOUT_SETTINGS = [("all", None), ("20", [20] * 3), ("10", [10] * 3), ("5", [5] * 3)]
+
+
+def run_once(dataset, seed):
+    config = replace(
+        get_config(dataset.name, "sage"),
+        batch_size=BATCH_SIZES[dataset.name],
+        hidden_channels=48,
+        lr=0.01,
+    )
+    trainer = Trainer(dataset, config, executor="pipelined", sampler="fast", seed=seed)
+    for epoch in range(EPOCHS[dataset.name]):
+        trainer.train_epoch(epoch)
+    nodes = dataset.split.test
+    labels = dataset.labels[nodes]
+    accs = {}
+    for tag, fanouts in FANOUT_SETTINGS:
+        if fanouts is None:
+            result = layerwise_full_inference(
+                trainer.model, dataset.features, dataset.graph
+            )
+            accs[tag] = accuracy(result.select(nodes), labels)
+        else:
+            accs[tag] = accuracy(
+                trainer.predict(nodes, fanouts=fanouts, seed=seed + 1000), labels
+            )
+    trainer.shutdown()
+    return accs
+
+
+@pytest.fixture(scope="module")
+def table6(bench_datasets):
+    results = {}
+    for name in ("arxiv", "products", "papers"):
+        runs = [run_once(bench_datasets[name], seed) for seed in range(REPETITIONS)]
+        results[name] = {
+            tag: mean_and_std([r[tag] for r in runs]) for tag, _ in FANOUT_SETTINGS
+        }
+    return results
+
+
+def test_table6_report(benchmark, table6):
+    benchmark.pedantic(_emit_report, args=(table6,), rounds=1, iterations=1)
+
+
+def _emit_report(table6):
+    rows = []
+    for name, cells in table6.items():
+        row = {"dataset": name}
+        for tag, _ in FANOUT_SETTINGS:
+            mean, std = cells[tag]
+            row[f"fanout_{tag}"] = f"{mean:.4f}±{std:.3f}"
+            row[f"paper_{tag}"] = PAPER_TABLE6[name][tag]
+        rows.append(row)
+    text = format_table(
+        rows,
+        title=(
+            "Table 6 (measured on synthetic stand-ins vs paper; "
+            f"{REPETITIONS} repetitions, GraphSAGE train fanout (15,10,5))"
+        ),
+    )
+    emit("table6_inference_accuracy", text)
+
+    for name, cells in table6.items():
+        full_mean = cells["all"][0]
+        f20_mean = cells["20"][0]
+        f5_mean = cells["5"][0]
+        noise = max(cells["all"][1] + cells["20"][1], 0.01)
+        # fanout 20 matches full-neighborhood within noise
+        assert abs(f20_mean - full_mean) < max(3 * noise, 0.03), name
+        # fanout 5 does not *beat* fanout 20 materially
+        assert f5_mean <= f20_mean + 0.02, name
+
+
+def test_benchmark_sampled_inference(benchmark, bench_datasets):
+    from repro.train import sampled_inference
+    from repro.models import build_model
+
+    ds = bench_datasets["products"]
+    model = build_model(
+        "sage", ds.num_features, 48, ds.num_classes, rng=np.random.default_rng(0)
+    )
+    nodes = ds.split.test[:512]
+    benchmark.pedantic(
+        lambda: sampled_inference(
+            model, ds.features, ds.graph, nodes, [20, 20, 20], batch_size=128
+        ),
+        rounds=2,
+        iterations=1,
+    )

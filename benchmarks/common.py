@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure from the paper.
+Conventions:
+
+- Heavy computations run once in module-scoped fixtures; the
+  ``benchmark`` fixture measures a representative kernel so
+  ``pytest benchmarks/ --benchmark-only`` produces a timing table.
+- Every bench renders its paper-style table/figure with
+  :func:`repro.telemetry.format_table` / ``format_bar_chart``, prints it,
+  and persists it under ``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Dataset scales used by the benches: large enough for the paper's shapes
+#: to emerge, small enough to finish on one core.
+BENCH_SCALES = {"arxiv": 0.5, "products": 0.375, "papers": 0.35}
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n[written to {path}]")

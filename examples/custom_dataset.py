@@ -1,0 +1,88 @@
+"""Bring your own graph: the adoption path for downstream users.
+
+Shows the public API end-to-end on a *user-provided* graph instead of the
+built-in stand-ins: build a CSR graph from a COO edge list, wrap features
+and labels in a Dataset, pick an architecture, and train through the
+SALIENT pipeline. The graph here is a small synthetic citation-style
+network assembled by hand to keep the example self-contained.
+
+    python examples/custom_dataset.py
+"""
+
+import numpy as np
+
+from repro.datasets import Dataset, Split
+from repro.graph import from_edge_index
+from repro.train import ExperimentConfig, Trainer
+
+
+def build_my_graph(rng: np.random.Generator):
+    """A toy 3-community citation network as raw (src, dst) pairs."""
+    num_nodes, num_classes, feat_dim = 900, 3, 32
+    labels = rng.integers(0, num_classes, size=num_nodes)
+    # ~12 citations per paper, 80% within the same community
+    src = rng.integers(0, num_nodes, size=num_nodes * 6)
+    same = rng.random(len(src)) < 0.8
+    dst = np.where(
+        same,
+        # pick a same-label target by rejection from a shuffled pool
+        rng.permutation(num_nodes)[src % num_nodes],
+        rng.integers(0, num_nodes, size=len(src)),
+    )
+    # enforce homophily on the "same" edges explicitly
+    pools = [np.flatnonzero(labels == c) for c in range(num_classes)]
+    for i in np.flatnonzero(same):
+        pool = pools[labels[src[i]]]
+        dst[i] = pool[rng.integers(0, len(pool))]
+    edge_index = np.stack([src, dst])
+
+    centroids = rng.normal(size=(num_classes, feat_dim))
+    features = (0.35 * centroids[labels] + rng.normal(size=(num_nodes, feat_dim))).astype(
+        np.float16
+    )
+    return edge_index, features, labels
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    edge_index, features, labels = build_my_graph(rng)
+
+    # 1. COO -> CSR, symmetrized (the paper makes all graphs undirected).
+    graph = from_edge_index(edge_index, features.shape[0], undirected=True)
+    print(f"graph: {graph}")
+
+    # 2. Splits + Dataset wrapper. Any labels/features arrays work as long
+    #    as shapes line up; Dataset.validate() checks the invariants.
+    perm = rng.permutation(graph.num_nodes)
+    split = Split(train=perm[:500], val=perm[500:650], test=perm[650:])
+    dataset = Dataset(
+        name="my-citations",
+        graph=graph,
+        features=features,
+        labels=labels.astype(np.int64),
+        split=split,
+        num_classes=3,
+    )
+    dataset.validate()
+
+    # 3. Any registered architecture; config is a plain dataclass.
+    config = ExperimentConfig(
+        dataset="my-citations",
+        model="gat",
+        num_layers=2,
+        hidden_channels=32,
+        train_fanouts=(10, 5),
+        infer_fanouts=(15, 15),
+        batch_size=64,
+        lr=5e-3,
+    )
+    trainer = Trainer(dataset, config, executor="pipelined", seed=0)
+    for epoch in range(8):
+        stats = trainer.train_epoch(epoch)
+        print(f"epoch {epoch}: loss={np.mean(stats.losses):.4f}")
+    print(f"test accuracy (sampled inference): {trainer.evaluate('test'):.4f}")
+    trainer.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Inference fanout study (the paper's Section 5 / Table 6 experiment).
+
+Trains GraphSAGE once, then compares full-neighborhood layer-wise
+inference against one-shot sampled inference at decreasing fanouts,
+reporting both accuracy and the host-memory footprint that layer-wise
+inference requires — the trade-off motivating sampled inference.
+
+    python examples/inference_fanout_study.py [dataset]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.datasets import get_dataset
+from repro.telemetry import format_table
+from repro.train import (
+    Trainer,
+    accuracy,
+    get_config,
+    layerwise_full_inference,
+)
+
+EPOCHS = {"arxiv": 15, "products": 30, "papers": 40}
+SCALES = {"arxiv": 0.5, "products": 0.375, "papers": 0.35}
+
+
+def main(name: str = "products") -> None:
+    dataset = get_dataset(name, scale=SCALES[name], seed=0)
+    config = replace(
+        get_config(name, "sage"), batch_size=64, hidden_channels=48, lr=0.01
+    )
+    trainer = Trainer(dataset, config, executor="pipelined", seed=0)
+    print(f"training GraphSAGE on {dataset} ...")
+    for epoch in range(EPOCHS[name]):
+        trainer.train_epoch(epoch)
+
+    nodes = dataset.split.test
+    labels = dataset.labels[nodes]
+    rows = []
+
+    full = layerwise_full_inference(trainer.model, dataset.features, dataset.graph)
+    rows.append(
+        {
+            "fanout": "all (layer-wise)",
+            "test_accuracy": round(accuracy(full.select(nodes), labels), 4),
+            "host_memory": f"{full.peak_host_bytes / 1e6:.1f} MB",
+        }
+    )
+    for fanout in (20, 10, 5, 3):
+        preds = trainer.predict(nodes, fanouts=[fanout] * 3)
+        rows.append(
+            {
+                "fanout": f"({fanout}, {fanout}, {fanout})",
+                "test_accuracy": round(accuracy(preds, labels), 4),
+                "host_memory": "per-batch only",
+            }
+        )
+    print(format_table(rows, title=f"Inference fanout study - {name}"))
+    print(
+        "\nSection 5's conclusion: a fanout of ~20 matches full-neighborhood "
+        "accuracy while avoiding the layer-wise host-memory footprint."
+    )
+    trainer.shutdown()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "products")

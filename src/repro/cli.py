@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``train``    — train an architecture on a stand-in dataset through the
+  serial (PyG-style) or pipelined (SALIENT) executor, then evaluate with
+  sampled inference.
+- ``simulate`` — run the calibrated performance model: single-GPU epoch
+  breakdown or multi-GPU scaling at paper scale.
+- ``info``     — dataset statistics (the Table 4 view) for one or all
+  stand-ins.
+- ``timeline`` — trace a few mini-batches through both executors and
+  render Figure-1-style ASCII timelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SALIENT reproduction: fast sampling and pipelining for GNNs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a GNN through the SALIENT pipeline")
+    train.add_argument("--dataset", default="products", help="arxiv|products|papers")
+    train.add_argument("--model", default="sage", help="sage|gat|gin|sage-ri|mlp")
+    train.add_argument("--scale", type=float, default=0.375)
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--batch-size", type=int, default=64)
+    train.add_argument("--hidden", type=int, default=48)
+    train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument("--executor", choices=["serial", "pipelined"], default="pipelined")
+    train.add_argument("--sampler", choices=["fast", "pyg"], default="fast")
+    train.add_argument("--fanouts", type=int, nargs="+", default=None)
+    train.add_argument("--seed", type=int, default=0)
+
+    simulate = sub.add_parser("simulate", help="run the calibrated performance model")
+    simulate.add_argument("--dataset", default="papers")
+    simulate.add_argument(
+        "--config", choices=["pyg", "salient"], default="salient",
+        help="pipeline configuration to simulate",
+    )
+    simulate.add_argument("--gpus", type=int, default=1)
+    simulate.add_argument("--model", default="sage")
+
+    info = sub.add_parser("info", help="dataset statistics (Table 4 view)")
+    info.add_argument("--dataset", default=None, help="one dataset, or all if omitted")
+    info.add_argument("--scale", type=float, default=1.0)
+
+    timeline = sub.add_parser("timeline", help="render Figure-1-style timelines")
+    timeline.add_argument("--dataset", default="products")
+    timeline.add_argument("--scale", type=float, default=0.375)
+    timeline.add_argument("--batches", type=int, default=6)
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.datasets import get_dataset
+    from repro.train import Trainer, get_config
+    from repro.train.config import ExperimentConfig
+
+    dataset = get_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    try:
+        base = get_config(args.dataset, args.model)
+    except KeyError:
+        base = ExperimentConfig(dataset=args.dataset, model=args.model)
+    config = replace(
+        base,
+        batch_size=args.batch_size,
+        hidden_channels=args.hidden,
+        lr=args.lr,
+        **(
+            {
+                "train_fanouts": tuple(args.fanouts),
+                # inference depth must match the model depth
+                "infer_fanouts": tuple([20] * len(args.fanouts)),
+                "num_layers": len(args.fanouts),
+            }
+            if args.fanouts
+            else {}
+        ),
+    )
+    print(f"dataset: {dataset}")
+    print(
+        f"model: {config.model} layers={config.num_layers} "
+        f"hidden={config.hidden_channels} fanouts={config.train_fanouts}"
+    )
+    trainer = Trainer(
+        dataset, config, executor=args.executor, sampler=args.sampler, seed=args.seed
+    )
+    for epoch in range(args.epochs):
+        stats = trainer.train_epoch(epoch)
+        print(
+            f"epoch {epoch:3d}: loss={np.mean(stats.losses):.4f} "
+            f"time={stats.epoch_time * 1000:.0f}ms"
+        )
+    print(f"val accuracy:  {trainer.evaluate('val'):.4f}")
+    print(f"test accuracy: {trainer.evaluate('test'):.4f}")
+    trainer.shutdown()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.perfmodel import (
+        CONFIG_PYG,
+        CONFIG_SALIENT,
+        scaling_curve,
+        simulate_cluster_epoch,
+        simulate_epoch,
+    )
+    from repro.telemetry import format_table
+
+    config = CONFIG_SALIENT if args.config == "salient" else CONFIG_PYG
+    if args.gpus == 1:
+        b = simulate_epoch(args.dataset, config)
+        rows = [
+            {
+                "dataset": b.dataset,
+                "config": b.config,
+                "epoch_s": round(b.epoch_time, 2),
+                "prep_s": round(b.prep_blocking, 2),
+                "transfer_s": round(b.transfer_blocking, 2),
+                "train_s": round(b.train_time, 2),
+                "gpu_util": round(b.gpu_utilization, 2),
+            }
+        ]
+        print(format_table(rows, title="Simulated single-GPU epoch (paper scale)"))
+    else:
+        points = scaling_curve(
+            args.dataset,
+            tuple(sorted({1, args.gpus} | {2, 4, 8} & set(range(args.gpus + 1)))),
+            config,
+            model=args.model,
+        )
+        rows = [
+            {
+                "gpus": p.num_gpus,
+                "epoch_s": round(p.epoch_time, 2),
+                "speedup": round(p.speedup_vs_1gpu, 2),
+            }
+            for p in points
+        ]
+        print(format_table(rows, title=f"Simulated scaling ({args.dataset}, {args.model})"))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.datasets import available_datasets, get_dataset
+    from repro.telemetry import format_table
+
+    names = [args.dataset] if args.dataset else available_datasets()
+    rows = [get_dataset(name, scale=args.scale).summary_row() for name in names]
+    print(format_table(rows, title=f"Datasets (scale={args.scale})"))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.datasets import get_dataset
+    from repro.models import build_model
+    from repro.nn import Adam
+    from repro.runtime import (
+        Device,
+        PipelinedExecutor,
+        SerialExecutor,
+        Tracer,
+        render_timeline,
+    )
+    from repro.sampling import FastNeighborSampler, PyGNeighborSampler
+    from repro.slicing import FeatureStore
+    from repro.tensor import Tensor, functional as F
+
+    dataset = get_dataset(args.dataset, scale=args.scale, seed=0)
+    store = FeatureStore(dataset.features, dataset.labels)
+    rng = np.random.default_rng(1)
+    size = min(192, len(dataset.split.train))
+    batches = [
+        rng.choice(dataset.split.train, size=size, replace=False)
+        for _ in range(args.batches)
+    ]
+
+    def make_train_fn():
+        model = build_model(
+            "sage", dataset.num_features, 48, dataset.num_classes,
+            rng=np.random.default_rng(0),
+        )
+        optimizer = Adam(model.parameters(), lr=3e-3)
+
+        def fn(batch):
+            model.train()
+            optimizer.zero_grad()
+            loss = F.nll_loss(
+                model(Tensor(batch.xs.data), batch.mfg.adjs), batch.ys.data
+            )
+            loss.backward()
+            optimizer.step()
+            return loss.item()
+
+        return fn
+
+    tracer = Tracer()
+    device = Device(transfer_bandwidth=25e6, roundtrip_latency=5e-4)
+    serial = SerialExecutor(
+        PyGNeighborSampler(dataset.graph, [15, 10, 5]), store, device, tracer=tracer
+    )
+    stats = serial.run_epoch(batches, make_train_fn())
+    device.shutdown()
+    print(
+        f"(a) standard workflow - {stats.epoch_time*1000:.0f} ms, "
+        f"GPU busy {100 * tracer.gpu_utilization():.0f}%"
+    )
+    print(render_timeline(tracer, width=96))
+
+    tracer = Tracer()
+    device = Device(transfer_bandwidth=25e6)
+    pipelined = PipelinedExecutor(
+        lambda: FastNeighborSampler(dataset.graph, [15, 10, 5]),
+        store,
+        device,
+        num_workers=2,
+        max_batch_hint=size,
+        tracer=tracer,
+    )
+    stats = pipelined.run_epoch(batches, make_train_fn())
+    device.shutdown()
+    print(
+        f"\n(b) SALIENT - {stats.epoch_time*1000:.0f} ms, "
+        f"GPU busy {100 * tracer.gpu_utilization():.0f}%"
+    )
+    print(render_timeline(tracer, width=96))
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "simulate": _cmd_simulate,
+    "info": _cmd_info,
+    "timeline": _cmd_timeline,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

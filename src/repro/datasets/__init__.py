@@ -1,0 +1,18 @@
+"""Synthetic OGB-like datasets, splits and registry."""
+
+from .registry import available_datasets, clear_cache, dataset_table, get_dataset
+from .splits import Split, make_split
+from .synthetic import SPECS, Dataset, SyntheticSpec, generate_dataset
+
+__all__ = [
+    "Dataset",
+    "SyntheticSpec",
+    "SPECS",
+    "generate_dataset",
+    "get_dataset",
+    "available_datasets",
+    "dataset_table",
+    "clear_cache",
+    "Split",
+    "make_split",
+]

@@ -1,0 +1,70 @@
+"""Train/validation/test split containers and constructors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Split", "make_split"]
+
+
+@dataclass
+class Split:
+    """Index-array split over a node set."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.train = np.asarray(self.train, dtype=np.int64)
+        self.val = np.asarray(self.val, dtype=np.int64)
+        self.test = np.asarray(self.test, dtype=np.int64)
+
+    def validate(self, num_nodes: int) -> None:
+        """Check disjointness and range; raises ``ValueError`` on violation."""
+        parts = {"train": self.train, "val": self.val, "test": self.test}
+        for name, arr in parts.items():
+            if len(arr) and (arr.min() < 0 or arr.max() >= num_nodes):
+                raise ValueError(f"{name} split references out-of-range nodes")
+            if len(np.unique(arr)) != len(arr):
+                raise ValueError(f"{name} split contains duplicates")
+        combined = np.concatenate([self.train, self.val, self.test])
+        if len(np.unique(combined)) != len(combined):
+            raise ValueError("splits overlap")
+
+    def sizes(self) -> tuple[int, int, int]:
+        return (len(self.train), len(self.val), len(self.test))
+
+    def __repr__(self) -> str:
+        return f"Split(train={len(self.train)}, val={len(self.val)}, test={len(self.test)})"
+
+
+def make_split(
+    num_nodes: int,
+    train_frac: float,
+    val_frac: float,
+    test_frac: float,
+    rng: Optional[np.random.Generator] = None,
+) -> Split:
+    """Sample a random disjoint split; fractions are of ``num_nodes``.
+
+    Fractions need not sum to 1 — nodes outside all three splits are
+    unlabeled (the ogbn-papers100M situation, where ~98.6% of nodes carry no
+    label).
+    """
+    total = train_frac + val_frac + test_frac
+    if total > 1.0 + 1e-9:
+        raise ValueError(f"split fractions sum to {total} > 1")
+    rng = rng or np.random.default_rng()
+    perm = rng.permutation(num_nodes)
+    n_train = int(round(num_nodes * train_frac))
+    n_val = int(round(num_nodes * val_frac))
+    n_test = int(round(num_nodes * test_frac))
+    return Split(
+        train=np.sort(perm[:n_train]),
+        val=np.sort(perm[n_train : n_train + n_val]),
+        test=np.sort(perm[n_train + n_val : n_train + n_val + n_test]),
+    )

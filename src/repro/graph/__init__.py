@@ -1,0 +1,48 @@
+"""Graph substrate: CSR storage, builders, generators, partitioning."""
+
+from .build import (
+    add_self_loops,
+    coalesce_edge_index,
+    from_edge_index,
+    remove_self_loops,
+    to_undirected_edge_index,
+)
+from .csr import CSRGraph
+from .generators import (
+    CommunityGraph,
+    chain_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    power_law_community_graph,
+    star_graph,
+)
+from .distributed import (
+    SamplingCommStats,
+    partition_quality_report,
+    sampling_communication,
+)
+from .partition import Partition, bfs_partition, edge_cut, random_partition
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_index",
+    "to_undirected_edge_index",
+    "coalesce_edge_index",
+    "remove_self_loops",
+    "add_self_loops",
+    "CommunityGraph",
+    "power_law_community_graph",
+    "erdos_renyi_graph",
+    "star_graph",
+    "chain_graph",
+    "complete_graph",
+    "grid_graph",
+    "Partition",
+    "bfs_partition",
+    "random_partition",
+    "edge_cut",
+    "SamplingCommStats",
+    "sampling_communication",
+    "partition_quality_report",
+]

@@ -1,0 +1,81 @@
+"""Graph construction utilities: COO -> CSR, undirected closure, coalescing.
+
+All builders are vectorized (sort + cumsum based); no Python-level edge
+loops, per the ml-systems guide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "from_edge_index",
+    "to_undirected_edge_index",
+    "coalesce_edge_index",
+    "remove_self_loops",
+    "add_self_loops",
+]
+
+
+def _check_edge_index(edge_index: np.ndarray) -> np.ndarray:
+    edge_index = np.asarray(edge_index, dtype=np.int64)
+    if edge_index.ndim != 2 or edge_index.shape[0] != 2:
+        raise ValueError(f"edge_index must have shape (2, E), got {edge_index.shape}")
+    return edge_index
+
+
+def coalesce_edge_index(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Sort edges by (src, dst) and drop duplicates."""
+    edge_index = _check_edge_index(edge_index)
+    if edge_index.shape[1] == 0:
+        return edge_index
+    key = edge_index[0] * num_nodes + edge_index[1]
+    unique_key = np.unique(key)
+    return np.stack([unique_key // num_nodes, unique_key % num_nodes])
+
+
+def remove_self_loops(edge_index: np.ndarray) -> np.ndarray:
+    edge_index = _check_edge_index(edge_index)
+    mask = edge_index[0] != edge_index[1]
+    return edge_index[:, mask]
+
+
+def add_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    edge_index = _check_edge_index(edge_index)
+    loops = np.arange(num_nodes, dtype=np.int64)
+    return np.concatenate([edge_index, np.stack([loops, loops])], axis=1)
+
+
+def to_undirected_edge_index(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Symmetrize: add each edge's reverse and coalesce duplicates.
+
+    Matches the paper's preprocessing ("all graphs were made undirected").
+    """
+    edge_index = _check_edge_index(edge_index)
+    both = np.concatenate([edge_index, edge_index[::-1]], axis=1)
+    return coalesce_edge_index(both, num_nodes)
+
+
+def from_edge_index(
+    edge_index: np.ndarray,
+    num_nodes: int,
+    undirected: bool = False,
+    coalesce: bool = True,
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` from a ``(2, E)`` COO edge array."""
+    edge_index = _check_edge_index(edge_index)
+    if edge_index.shape[1] and edge_index.max() >= num_nodes:
+        raise ValueError("edge_index references nodes >= num_nodes")
+    if undirected:
+        edge_index = to_undirected_edge_index(edge_index, num_nodes)
+    elif coalesce:
+        edge_index = coalesce_edge_index(edge_index, num_nodes)
+    src, dst = edge_index
+    order = np.argsort(src, kind="stable")
+    sorted_dst = dst[order]
+    counts = np.bincount(src, minlength=num_nodes)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(indptr, sorted_dst, num_nodes)

@@ -1,0 +1,142 @@
+"""Distributed-sampling cost model (Section 8 future work).
+
+The paper's closing discussion: distributing graph and node data requires
+partitioning whose objective "may consider not only edge cut and load
+balance but also the cost of multi-hop neighborhood sampling", and
+"sampling approaches will need to be re-investigated in a distributed
+environment, to minimize communication".
+
+This module quantifies exactly that trade-off on our substrate: given a
+partition, :func:`sampling_communication` replays node-wise multi-hop
+sampling and measures how many sampled nodes (feature fetches) and edges
+(adjacency lookups) cross partition boundaries — the communication volume a
+distributed sampler would pay. The extension bench compares random,
+BFS-grown and community-aware partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .csr import CSRGraph
+from .partition import Partition, edge_cut
+
+__all__ = ["SamplingCommStats", "sampling_communication", "partition_quality_report"]
+
+
+@dataclass
+class SamplingCommStats:
+    """Communication profile of sampled mini-batches under a partition."""
+
+    num_batches: int
+    total_sampled_nodes: int
+    remote_feature_fetches: int  # sampled nodes living off the batch's home part
+    total_sampled_edges: int
+    remote_adjacency_lookups: int  # expansions of nodes stored remotely
+    feature_bytes_per_node: int = 0
+
+    @property
+    def remote_node_fraction(self) -> float:
+        if self.total_sampled_nodes == 0:
+            return 0.0
+        return self.remote_feature_fetches / self.total_sampled_nodes
+
+    @property
+    def remote_edge_fraction(self) -> float:
+        if self.total_sampled_edges == 0:
+            return 0.0
+        return self.remote_adjacency_lookups / self.total_sampled_edges
+
+    def comm_bytes_per_epoch(self) -> int:
+        """Feature bytes crossing the network per epoch (lower bound)."""
+        return self.remote_feature_fetches * self.feature_bytes_per_node
+
+
+def sampling_communication(
+    graph: CSRGraph,
+    partition: Partition,
+    train_nodes: np.ndarray,
+    fanouts: Sequence[Optional[int]],
+    batch_size: int,
+    feature_bytes_per_node: int = 0,
+    rng: Optional[np.random.Generator] = None,
+    max_batches: Optional[int] = None,
+) -> SamplingCommStats:
+    """Replay an epoch of sampling and count cross-partition traffic.
+
+    Each mini-batch is "homed" on the partition owning the majority of its
+    target nodes (DistDGL's locality assumption); every sampled node stored
+    elsewhere costs a remote feature fetch, and every expansion of a
+    remotely-stored node costs a remote adjacency lookup.
+    """
+    # Imported lazily: repro.graph must not depend on repro.sampling at
+    # module import time (repro.sampling builds on repro.graph).
+    from ..sampling.base import BatchIterator
+    from ..sampling.fast_sampler import FastNeighborSampler
+
+    rng = rng or np.random.default_rng(0)
+    sampler = FastNeighborSampler(graph, list(fanouts))
+    assignment = partition.assignment
+
+    stats = SamplingCommStats(
+        num_batches=0,
+        total_sampled_nodes=0,
+        remote_feature_fetches=0,
+        total_sampled_edges=0,
+        remote_adjacency_lookups=0,
+        feature_bytes_per_node=feature_bytes_per_node,
+    )
+    for batch in BatchIterator(train_nodes, batch_size, shuffle=True, rng=rng):
+        if max_batches is not None and stats.num_batches >= max_batches:
+            break
+        mfg = sampler.sample(batch, rng)
+        home = int(np.bincount(assignment[batch]).argmax())
+        node_parts = assignment[mfg.n_id]
+        stats.num_batches += 1
+        stats.total_sampled_nodes += len(mfg.n_id)
+        stats.remote_feature_fetches += int((node_parts != home).sum())
+        for adj in mfg.adjs:
+            dst_global = mfg.n_id[adj.edge_index[1]]
+            remote_dst = assignment[dst_global] != home
+            stats.total_sampled_edges += adj.num_edges
+            stats.remote_adjacency_lookups += int(remote_dst.sum())
+    return stats
+
+
+def partition_quality_report(
+    graph: CSRGraph,
+    partitions: dict[str, Partition],
+    train_nodes: np.ndarray,
+    fanouts: Sequence[Optional[int]],
+    batch_size: int,
+    feature_bytes_per_node: int,
+    rng: Optional[np.random.Generator] = None,
+    max_batches: int = 8,
+) -> list[dict]:
+    """Rows comparing partitioning strategies on static + sampling metrics."""
+    rows = []
+    for name, partition in partitions.items():
+        comm = sampling_communication(
+            graph,
+            partition,
+            train_nodes,
+            fanouts,
+            batch_size,
+            feature_bytes_per_node=feature_bytes_per_node,
+            rng=rng or np.random.default_rng(0),
+            max_batches=max_batches,
+        )
+        rows.append(
+            {
+                "partition": name,
+                "edge_cut": edge_cut(graph, partition.assignment),
+                "imbalance": round(partition.imbalance(), 3),
+                "remote_node_frac": round(comm.remote_node_fraction, 3),
+                "remote_edge_frac": round(comm.remote_edge_fraction, 3),
+                "comm_MB_per_epoch": round(comm.comm_bytes_per_epoch() / 1e6, 2),
+            }
+        )
+    return rows

@@ -1,0 +1,25 @@
+"""GNN architectures and bipartite convolution layers."""
+
+from .architectures import (
+    GAT,
+    GIN,
+    MLP,
+    MODEL_REGISTRY,
+    GraphSAGE,
+    SAGERI,
+    build_model,
+)
+from .conv import GATConv, GINConv, SAGEConv
+
+__all__ = [
+    "GraphSAGE",
+    "GAT",
+    "GIN",
+    "SAGERI",
+    "MLP",
+    "build_model",
+    "MODEL_REGISTRY",
+    "SAGEConv",
+    "GATConv",
+    "GINConv",
+]

@@ -1,0 +1,193 @@
+"""Minimal module system mirroring ``torch.nn`` semantics.
+
+Modules register parameters and submodules by attribute assignment, expose
+``parameters()`` / ``named_parameters()`` / ``state_dict()`` and a
+train/eval mode flag. This keeps the model definitions in
+:mod:`repro.models` line-for-line close to the paper's appendix listings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Module", "ModuleList", "Sequential", "Identity", "Parameter"]
+
+
+def Parameter(data: np.ndarray) -> Tensor:
+    """Wrap an array as a trainable tensor (requires_grad=True)."""
+    return Tensor(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all neural network modules."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration by attribute assignment
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track non-trainable state (e.g. BatchNorm running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def _set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer in place of the attribute."""
+        if name not in self._buffers:
+            raise KeyError(f"buffer {name!r} was never registered")
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield (f"{prefix}{name}", self._buffers[name])
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        state.update({name: b.copy() for name, b in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        for name, value in state.items():
+            if name in params:
+                if params[name].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: "
+                        f"{params[name].data.shape} vs {value.shape}"
+                    )
+                params[name].data[...] = value
+            else:
+                self._load_buffer(name, value)
+
+    def _load_buffer(self, dotted: str, value: np.ndarray) -> None:
+        parts = dotted.split(".")
+        target: Module = self
+        for part in parts[:-1]:
+            target = target._modules[part]
+        if parts[-1] not in target._buffers:
+            raise KeyError(f"unknown state entry {dotted!r}")
+        target._set_buffer(parts[-1], value.copy())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def num_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def reset_parameters(self) -> None:
+        """Re-initialize parameters; overridden by leaf layers."""
+        for module in self._modules.values():
+            module.reset_parameters()
+
+
+class ModuleList(Module):
+    """Indexable container of submodules (``torch.nn.ModuleList``)."""
+
+    def __init__(self, modules: Optional[list] = None) -> None:
+        super().__init__()
+        self._list: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        index = len(self._list)
+        self._list.append(module)
+        self._modules[str(index)] = module
+        return self
+
+    def __getitem__(self, index: int) -> Module:
+        return self._list[index]
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+
+class Sequential(Module):
+    """Feed-forward container; used for GIN's per-layer MLPs."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._list: List[Module] = []
+        for i, layer in enumerate(layers):
+            self._list.append(layer)
+            self._modules[str(i)] = layer
+
+    def forward(self, x):
+        for layer in self._list:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, index: int) -> Module:
+        return self._list[index]
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+
+class Identity(Module):
+    """Pass-through module (used by SAGE-RI residual shortcuts)."""
+
+    def forward(self, x):
+        return x

@@ -1,0 +1,149 @@
+"""Paper-calibrated workload and machine constants.
+
+Hardware-scale experiments (Tables 1-3, Figures 4-5, Table 7) ran on
+2x20-core Xeon Gold 6248 + V100 machines we do not have; the performance
+model replays their pipelines with per-batch costs *derived from the
+paper's own measurements*. Every constant below cites its source.
+
+Derivations (per-batch = per-epoch figure / number of batches):
+
+- Batches per epoch = ceil(train-set size / 1024) (Table 4 / Table 5):
+  arxiv 89, products 193, papers 1172.
+- products single-thread sampling 71.1 s and slicing 7.6 s per epoch come
+  straight from Table 2 (P=1), i.e. 368 ms and 39 ms per batch. SALIENT's
+  sampler does the same work in 28.3 s (2.51x less).
+- Parallel scaling follows the Amdahl fit of Table 2:
+  T(P) = serial_work / P + per_epoch_overhead, giving per-epoch overheads
+  of ~4.3 s (PyG multiprocessing) and ~0.5 s (SALIENT threads) for
+  sampling on products, and ~0.9 s / ~0.1 s for slicing. Overheads are
+  charged per batch (they represent IPC, serialization and dispatch).
+- papers transfers 164 GB per epoch (Section 3.3) -> 140 MB per batch;
+  the 12.3 GB/s DMA peak and 75% baseline / 99% SALIENT efficiencies are
+  quoted in Sections 3.3 and 4.3. Other datasets' transfer volumes follow
+  from their Table 1 transfer times at 75% of peak.
+- GPU compute per batch follows from Table 1's train column.
+- arxiv/papers sampling and slicing work are scaled from the products
+  measurements by their relative per-batch transfer volume (a proxy for
+  MFG size), then nudged so the simulated baseline reproduces Table 1
+  within ~10% (values checked by tests/perfmodel/test_calibration.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MachineSpec",
+    "BatchWorkload",
+    "PAPER_MACHINE",
+    "PAPER_WORKLOADS",
+    "TABLE1_REFERENCE",
+    "TABLE2_REFERENCE",
+    "TABLE3_REFERENCE",
+]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One cluster node of the paper's testbed (Section 6)."""
+
+    cores: int = 20  # usable cores per GPU in the Section 3 study
+    dma_peak_bw: float = 12.3e9  # bytes/s, Section 3.3
+    baseline_dma_efficiency: float = 0.75  # Section 3.3
+    salient_dma_efficiency: float = 0.99  # Section 4.3
+    nic_bw: float = 1.25e9  # 10 GigE (Section 6), bytes/s
+    nic_latency: float = 100e-6  # per ring step
+    gpus_per_machine: int = 2
+    # Per-batch serial overheads from the Table 2 Amdahl fit
+    # (T(P) = W/P + c). Multiprocessing workers pay a fixed dispatch cost
+    # plus IPC serialization proportional to the batch payload; SALIENT's
+    # threads pay only a small dispatch cost.
+    ipc_base: float = 5e-4  # s/batch, worker-process dispatch
+    ipc_bw: float = 6.1e9  # bytes/s, sampled-batch serialization to main
+    salient_prep_overhead: float = 1.7e-3  # s/batch (Table 2 fit)
+    pyg_slice_overhead: float = 2e-3  # s/batch (OpenMP dispatch)
+    epoch_startup: float = 0.05  # s, pipeline fill / first-batch latency
+
+
+@dataclass(frozen=True)
+class BatchWorkload:
+    """Per-mini-batch resource demands for one dataset (paper scale)."""
+
+    dataset: str
+    num_batches: int
+    sample_work: float  # single-core seconds, PyG sampler
+    slice_work: float  # single-core seconds
+    transfer_bytes: float  # bytes moved CPU->GPU per batch
+    gpu_time: float  # seconds of GPU compute per batch
+    # inference-mode variants (fanout (20,20,20), whole labeled set)
+    infer_batches: int = 0
+    infer_scale: float = 1.0  # MFG size multiplier vs training fanouts
+
+
+PAPER_MACHINE = MachineSpec()
+
+#: Transfer volumes: papers = 164 GB / 1172 (Section 3.3); others from
+#: Table 1 transfer seconds x 9.2 GB/s effective: arxiv 0.3 s -> 2.8 GB,
+#: products 2.2 s -> 20.2 GB per epoch.
+PAPER_WORKLOADS: dict[str, BatchWorkload] = {
+    "arxiv": BatchWorkload(
+        dataset="arxiv",
+        num_batches=89,
+        sample_work=0.22,  # fitted to Table 1 / Table 3 (see module docstring)
+        slice_work=0.012,
+        transfer_bytes=2.8e9 / 89,
+        gpu_time=0.5 / 89,
+        infer_batches=47,  # 48K test nodes / 1024
+        infer_scale=9.0,  # MFG expansion (20+400+8000)/(15+150+750) ~ 9.2
+    ),
+    "products": BatchWorkload(
+        dataset="products",
+        num_batches=193,
+        # Table 2 (P=1) gives 71.1 s / 193 = 0.368; the end-to-end Table 1
+        # fit prefers 0.42 (the microbenchmark excludes some per-epoch
+        # work); we split the difference toward the end-to-end numbers.
+        sample_work=0.42,
+        slice_work=7.6 / 193,  # Table 2, P=1
+        transfer_bytes=20.2e9 / 193,
+        gpu_time=2.4 / 193,
+        infer_batches=2149,  # 2.2M test nodes / 1024
+        infer_scale=9.0,
+    ),
+    "papers": BatchWorkload(
+        dataset="papers",
+        num_batches=1172,
+        sample_work=0.37,  # fitted to Table 1 prep = 18.6 s blocking
+        slice_work=0.056,
+        transfer_bytes=164e9 / 1172,  # Section 3.3
+        gpu_time=13.9 / 1172,
+        infer_batches=210,  # 214K test nodes / 1024
+        infer_scale=9.0,
+    ),
+}
+
+#: SALIENT's sampler speedup over PyG's (Table 2: 71.1 s -> 28.3 s).
+SALIENT_SAMPLER_SPEEDUP = 71.1 / 28.3
+
+#: Table 1 ground truth (seconds) for calibration tests.
+TABLE1_REFERENCE = {
+    "arxiv": {"epoch": 1.7, "prep": 1.0, "transfer": 0.3, "train": 0.5},
+    "products": {"epoch": 8.6, "prep": 4.0, "transfer": 2.2, "train": 2.4},
+    "papers": {"epoch": 50.4, "prep": 18.6, "transfer": 17.9, "train": 13.9},
+}
+
+#: Table 2 ground truth (products batch-prep seconds by thread count).
+TABLE2_REFERENCE = {
+    "pyg": {1: {"sampling": 71.1, "slicing": 7.6, "both": 72.7},
+            10: {"sampling": 11.4, "slicing": 1.6, "both": 11.5},
+            20: {"sampling": 7.2, "slicing": 1.2, "both": 7.3}},
+    "salient": {1: {"sampling": 28.3, "slicing": 7.3, "both": 35.6},
+                10: {"sampling": 3.3, "slicing": 0.8, "both": 4.1},
+                20: {"sampling": 1.9, "slicing": 0.6, "both": 2.5}},
+}
+
+#: Table 3 ground truth (per-epoch seconds by optimization level).
+TABLE3_REFERENCE = {
+    "arxiv": [1.7, 0.7, 0.6, 0.5],
+    "products": [8.6, 5.3, 4.2, 2.8],
+    "papers": [50.4, 34.6, 27.8, 16.5],
+}

@@ -1,0 +1,183 @@
+"""Multi-GPU / multi-machine scaling model (Figure 5, Figure 6, Table 7).
+
+Models the paper's distributed setup: up to 8 machines x 2 V100s, PyTorch
+DDP with NCCL over 10 GigE. Per training step, every rank runs the
+single-GPU SALIENT pipeline on its shard (the effective global batch grows
+with the GPU count, so steps per epoch shrink), then all ranks synchronize
+gradients with a ring all-reduce. Epoch time is therefore
+
+    startup + steps * (pipeline step time) + allreduce serialization,
+
+which reproduces Figure 5's two qualitative findings: near-linear scaling
+for large datasets (compute per step dwarfs communication and the startup
+amortizes), and weaker scaling for small ones.
+
+Model parameter counts come from instantiating this repository's actual
+architectures at the paper's widths (Table 5) and counting parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from ..models.architectures import build_model
+from .calibrate import PAPER_MACHINE, PAPER_WORKLOADS, BatchWorkload, MachineSpec
+from .pipelines import CONFIG_PYG, CONFIG_SALIENT, PipelineConfig, simulate_epoch
+
+#: Coefficient of variation of per-rank step times (MFG size variance).
+_STRAGGLER_CV = 0.12
+
+__all__ = [
+    "model_param_bytes",
+    "ring_allreduce_time",
+    "simulate_cluster_epoch",
+    "scaling_curve",
+    "MODEL_PROFILES",
+    "ModelProfile",
+]
+
+#: Paper-scale dims for parameter counting (Table 4/5).
+_PAPER_DIMS = {"in": 128, "out": 172}
+
+
+@lru_cache(maxsize=None)
+def model_param_bytes(model: str, hidden: int = 256) -> int:
+    """Bytes of fp32 parameters at the paper's scale, from the real models."""
+    instance = build_model(
+        model,
+        _PAPER_DIMS["in"],
+        hidden,
+        _PAPER_DIMS["out"],
+        num_layers=3,
+        rng=np.random.default_rng(0),
+    )
+    return int(sum(p.data.nbytes for p in instance.parameters()))
+
+
+def ring_allreduce_time(
+    param_bytes: int, num_ranks: int, machine: MachineSpec = PAPER_MACHINE
+) -> float:
+    """Ring all-reduce over the slowest link (the 10 GigE NIC).
+
+    Ranks co-located on one machine communicate over fast local links; the
+    ring's critical path is the NIC hop, crossed by 2(K-1)/K of the buffer.
+    """
+    if num_ranks <= 1:
+        return 0.0
+    machines = max(1, int(np.ceil(num_ranks / machine.gpus_per_machine)))
+    if machines == 1:
+        bw = machine.dma_peak_bw  # intra-machine (PCIe/NVLink-class) ring
+    else:
+        bw = machine.nic_bw
+    volume = 2.0 * (num_ranks - 1) / num_ranks * param_bytes
+    return volume / bw + 2 * (num_ranks - 1) * machine.nic_latency
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Per-architecture cost multipliers for Figure 6.
+
+    ``gpu_scale`` multiplies per-batch GPU time relative to GraphSAGE at
+    hidden 256; ``mfg_scale`` multiplies MFG size (sampling/slicing/
+    transfer) to reflect each row's fanout choice in Table 5.
+
+    GPU scales follow the relative FLOP counts of the architectures at
+    their Table 5 widths/fanouts: GAT adds per-edge attention work, GIN
+    runs 2-layer MLPs per conv on a (20,20,20) MFG, SAGE-RI is 4x wider
+    (hidden 1024).
+    """
+
+    name: str
+    hidden: int
+    gpu_scale: float
+    mfg_scale: float
+
+
+MODEL_PROFILES: dict[str, ModelProfile] = {
+    "sage": ModelProfile("sage", 256, gpu_scale=1.0, mfg_scale=1.0),
+    "gat": ModelProfile("gat", 256, gpu_scale=1.9, mfg_scale=1.0),
+    "gin": ModelProfile("gin", 256, gpu_scale=3.4, mfg_scale=2.6),
+    "sage-ri": ModelProfile("sage-ri", 1024, gpu_scale=7.5, mfg_scale=0.85),
+}
+
+
+@dataclass
+class ClusterEpoch:
+    dataset: str
+    model: str
+    num_gpus: int
+    config: str
+    epoch_time: float
+    steps: int
+    allreduce_per_step: float
+    speedup_vs_1gpu: float = float("nan")
+
+
+def simulate_cluster_epoch(
+    dataset: str,
+    num_gpus: int,
+    config: PipelineConfig = CONFIG_SALIENT,
+    model: str = "sage",
+    machine: MachineSpec = PAPER_MACHINE,
+    workload: Optional[BatchWorkload] = None,
+) -> ClusterEpoch:
+    """Simulate one distributed training epoch."""
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    workload = workload or PAPER_WORKLOADS[dataset]
+    profile = MODEL_PROFILES[model]
+    steps = int(np.ceil(workload.num_batches / num_gpus))
+    allreduce = ring_allreduce_time(
+        model_param_bytes(model, profile.hidden), num_gpus, machine
+    )
+    # DDP synchronizes every step on the slowest rank. Sampled MFG sizes
+    # vary across ranks (CV ~ 12%); the expected max of K normals adds a
+    # straggler margin growing like sqrt(2 ln K).
+    straggler = 1.0
+    if num_gpus > 1:
+        straggler = 1.0 + _STRAGGLER_CV * float(np.sqrt(2.0 * np.log(num_gpus)))
+    base_gpu = workload.gpu_time * profile.mfg_scale
+    step_gpu = (workload.gpu_time * profile.gpu_scale * profile.mfg_scale + allreduce) * straggler
+    breakdown = simulate_epoch(
+        dataset,
+        config,
+        machine=machine,
+        workload=workload,
+        num_batches=steps,
+        batch_scale=profile.mfg_scale,
+        extra_gpu_time_per_batch=step_gpu - base_gpu,
+    )
+    # Distributed startup (process-group init, first-batch latency on every
+    # machine) grows mildly with the machine count.
+    machines = max(1, int(np.ceil(num_gpus / machine.gpus_per_machine)))
+    startup_extra = 0.004 * (machines - 1) if num_gpus > 1 else 0.0
+    return ClusterEpoch(
+        dataset=dataset,
+        model=model,
+        num_gpus=num_gpus,
+        config=config.name,
+        epoch_time=breakdown.epoch_time + startup_extra,
+        steps=steps,
+        allreduce_per_step=allreduce,
+    )
+
+
+def scaling_curve(
+    dataset: str,
+    gpu_counts: tuple = (1, 2, 4, 8, 16),
+    config: PipelineConfig = CONFIG_SALIENT,
+    model: str = "sage",
+) -> list[ClusterEpoch]:
+    """Figure 5: epoch time vs GPU count with speedups vs 1 GPU."""
+    points = [
+        simulate_cluster_epoch(dataset, k, config=config, model=model)
+        for k in gpu_counts
+    ]
+    base = points[0].epoch_time
+    for point in points:
+        point.speedup_vs_1gpu = base / point.epoch_time
+    return points

@@ -1,0 +1,73 @@
+"""Discrete-event scheduling primitives for the performance model.
+
+The pipeline simulations reserve time on shared resources (CPU worker
+pools, the DMA engine, the GPU, the NIC). Because every stage submits work
+in ready-time order, a reservation-based formulation is sufficient and
+exactly equivalent to an event-queue FIFO simulation: each
+:class:`Resource` keeps a heap of server-free times and greedily assigns
+the earliest available server.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+__all__ = ["Resource", "Interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A scheduled busy span on some resource."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Resource:
+    """FIFO multi-server resource (capacity C, greedy earliest-server).
+
+    ``serve(ready, duration)`` books the next free server at
+    ``max(ready, server_free)``; requests must be issued in non-decreasing
+    order of their *logical* submission (the natural order in which the
+    pipeline generates work), which all simulations here respect.
+    """
+
+    def __init__(self, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._free: list[float] = [0.0] * capacity
+        heapq.heapify(self._free)
+        self.busy_time = 0.0
+        self.jobs = 0
+
+    def serve(self, ready: float, duration: float) -> Interval:
+        """Reserve ``duration`` seconds at or after ``ready``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        earliest = heapq.heappop(self._free)
+        start = max(earliest, ready)
+        end = start + duration
+        heapq.heappush(self._free, end)
+        self.busy_time += duration
+        self.jobs += 1
+        return Interval(start, end)
+
+    def next_free(self) -> float:
+        """Earliest time any server becomes free."""
+        return self._free[0]
+
+    def makespan(self) -> float:
+        """Latest booked completion across servers."""
+        return max(self._free)
+
+    def utilization(self, horizon: float) -> float:
+        if horizon <= 0:
+            return 0.0
+        return self.busy_time / (horizon * self.capacity)

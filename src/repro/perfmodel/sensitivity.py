@@ -1,0 +1,140 @@
+"""What-if sensitivity analysis (the paper's Section 8 limits discussion).
+
+"The limiting factor for batch preparation is the number of CPU cores or
+the DRAM bandwidth; for data transfer it is the peak CPU-to-GPU memory
+bandwidth. As feature vector size increases, or with higher fanout, memory
+bandwidth may become insufficient."
+
+These sweeps quantify exactly that on the calibrated model: vary the core
+count, the feature width (∝ slicing + transfer volume), or the fanout
+(∝ everything), and report which pipeline stage limits the fully
+pipelined SALIENT epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from .calibrate import PAPER_MACHINE, PAPER_WORKLOADS, BatchWorkload, MachineSpec
+from .pipelines import CONFIG_SALIENT, PipelineConfig, simulate_epoch
+
+__all__ = ["stage_totals", "bottleneck", "sweep_cores", "sweep_feature_width", "sweep_fanout"]
+
+
+def stage_totals(
+    dataset: str,
+    config: PipelineConfig = CONFIG_SALIENT,
+    machine: MachineSpec = PAPER_MACHINE,
+    workload: BatchWorkload | None = None,
+    batch_scale: float = 1.0,
+) -> dict[str, float]:
+    """Isolated per-stage epoch totals: what each stage would take alone.
+
+    Under perfect pipelining the epoch approaches the max of these — the
+    paper's 'end-to-end time nearly equal to the slowest component in
+    isolation' (Section 8).
+    """
+    workload = workload or PAPER_WORKLOADS[dataset]
+    from .calibrate import SALIENT_SAMPLER_SPEEDUP
+
+    nb = workload.num_batches
+    sample = workload.sample_work * batch_scale
+    if config.fast_sampling:
+        sample /= SALIENT_SAMPLER_SPEEDUP
+    slice_work = workload.slice_work * batch_scale
+    prep_interval = (
+        (sample + slice_work) / config.num_workers + machine.salient_prep_overhead
+        if config.shared_memory_prep
+        else sample / config.num_workers
+        + machine.ipc_base
+        + workload.transfer_bytes * batch_scale / machine.ipc_bw
+    )
+    dma_eff = (
+        machine.salient_dma_efficiency
+        if config.pipelined_transfers
+        else machine.baseline_dma_efficiency
+    )
+    return {
+        "prep": nb * prep_interval,
+        "transfer": nb * workload.transfer_bytes * batch_scale / (machine.dma_peak_bw * dma_eff),
+        "gpu": nb * workload.gpu_time * batch_scale,
+    }
+
+
+def bottleneck(
+    dataset: str,
+    config: PipelineConfig = CONFIG_SALIENT,
+    machine: MachineSpec = PAPER_MACHINE,
+    workload: BatchWorkload | None = None,
+    batch_scale: float = 1.0,
+) -> str:
+    """Which stage limits the pipelined epoch ('prep'|'transfer'|'gpu')."""
+    totals = stage_totals(dataset, config, machine, workload, batch_scale)
+    return max(totals, key=totals.get)
+
+
+def sweep_cores(
+    dataset: str, core_counts: Sequence[int], config: PipelineConfig = CONFIG_SALIENT
+) -> list[dict]:
+    """Epoch time and limiting stage as the worker-core count varies."""
+    rows = []
+    for cores in core_counts:
+        cfg = replace(config, num_workers=cores)
+        breakdown = simulate_epoch(dataset, cfg)
+        rows.append(
+            {
+                "cores": cores,
+                "epoch_s": round(breakdown.epoch_time, 2),
+                "bottleneck": bottleneck(dataset, cfg),
+                "gpu_util": round(breakdown.gpu_utilization, 2),
+            }
+        )
+    return rows
+
+
+def sweep_feature_width(
+    dataset: str,
+    multipliers: Sequence[float],
+    config: PipelineConfig = CONFIG_SALIENT,
+) -> list[dict]:
+    """Scale the feature width: slicing work and transfer volume follow."""
+    base = PAPER_WORKLOADS[dataset]
+    rows = []
+    for mult in multipliers:
+        workload = replace(
+            base,
+            slice_work=base.slice_work * mult,
+            transfer_bytes=base.transfer_bytes * mult,
+            gpu_time=base.gpu_time * (0.5 + 0.5 * mult),  # half the FLOPs scale
+        )
+        breakdown = simulate_epoch(dataset, config, workload=workload)
+        rows.append(
+            {
+                "feature_width_x": mult,
+                "epoch_s": round(breakdown.epoch_time, 2),
+                "bottleneck": bottleneck(dataset, config, workload=workload),
+                "gpu_util": round(breakdown.gpu_utilization, 2),
+            }
+        )
+    return rows
+
+
+def sweep_fanout(
+    dataset: str,
+    scales: Sequence[float],
+    config: PipelineConfig = CONFIG_SALIENT,
+) -> list[dict]:
+    """Scale the MFG size (the fanout proxy): every stage grows with it."""
+    rows = []
+    for scale in scales:
+        breakdown = simulate_epoch(dataset, config, batch_scale=scale)
+        rows.append(
+            {
+                "mfg_scale": scale,
+                "epoch_s": round(breakdown.epoch_time, 2),
+                "bottleneck": bottleneck(dataset, config, batch_scale=scale),
+                "gpu_util": round(breakdown.gpu_utilization, 2),
+            }
+        )
+    return rows

@@ -1,0 +1,165 @@
+"""Cross-system comparison (Table 7).
+
+Table 7 in the paper is a survey: each row quotes the *reported* per-epoch
+time of a representative GNN training system on the largest graph that
+system's publication used, with footnotes explaining how each number was
+estimated from the original papers. We reproduce it the same way — the
+comparator rows are documented constants quoting the same sources — while
+the SALIENT row is *generated* by this repository's performance model
+(training and inference epochs on the papers-scale workload, 16 GPUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .calibrate import PAPER_WORKLOADS
+from .cluster import simulate_cluster_epoch
+from .pipelines import CONFIG_SALIENT, PipelineConfig, simulate_epoch
+
+__all__ = ["SystemRow", "COMPARATOR_SYSTEMS", "salient_row", "systems_table"]
+
+
+@dataclass(frozen=True)
+class SystemRow:
+    """One row of Table 7."""
+
+    system: str
+    framework: str
+    batching: str
+    gnn: str
+    machines: str
+    dataset: str
+    seconds_per_epoch: float
+    accuracy: Optional[float] = None
+    source: str = ""
+
+
+#: Reported numbers, quoted with the paper's own footnoted derivations.
+COMPARATOR_SYSTEMS: list[SystemRow] = [
+    SystemRow(
+        system="NeuGraph",
+        framework="TensorFlow",
+        batching="full-batch",
+        gnn="GCN, L=2",
+        machines="1x (28 cores, 8 P100)",
+        dataset="amazon (8.6M nodes)",
+        seconds_per_epoch=0.655,
+        source="Ma et al. 2019, Table 2 / Fig 17 (paper footnote a)",
+    ),
+    SystemRow(
+        system="Roc",
+        framework="FlexFlow/Lux",
+        batching="full-batch",
+        gnn="GCN",
+        machines="4x (20 cores, 4 P100)",
+        dataset="amazon (9.4M nodes)",
+        seconds_per_epoch=0.526,
+        source="Jia et al. 2020, Fig 5 (paper footnote b)",
+    ),
+    SystemRow(
+        system="DistDGL",
+        framework="PyTorch/DGL/METIS",
+        batching="mini-batch 2000, (15,10,5)",
+        gnn="GraphSAGE, L=3, h=256",
+        machines="16x EC2 (96 vCPU)",
+        dataset="ogbn-papers100M",
+        seconds_per_epoch=13.0,
+        source="Zheng et al. 2020, Fig 8 (paper footnote c)",
+    ),
+    SystemRow(
+        system="DeepGalois",
+        framework="Galois/GuSP/Gluon",
+        batching="full-batch",
+        gnn="GraphSAGE, L=2, h=16",
+        machines="32x (48 cores)",
+        dataset="ogbn-papers100M",
+        seconds_per_epoch=70.0,
+        source="Hoang et al. 2021, Fig 4 (paper footnote d)",
+    ),
+    SystemRow(
+        system="Zero-Copy",
+        framework="PyTorch/DGL",
+        batching="mini-batch",
+        gnn="GraphSAGE",
+        machines="1x (24 cores, 2 RTX3090)",
+        dataset="ogbn-papers100M",
+        seconds_per_epoch=648.0,
+        source="Min et al. 2021, Fig 11 (paper footnote e)",
+    ),
+    SystemRow(
+        system="GNS",
+        framework="PyTorch/DGL",
+        batching="mini-batch 1000, (cache,15,10)",
+        gnn="GraphSAGE, L=3, h=256",
+        machines="1x EC2 (32 cores, 1 T4)",
+        dataset="ogbn-papers100M",
+        seconds_per_epoch=98.5,
+        accuracy=63.31,
+        source="Dong et al. 2021, Table 3 (paper footnote f)",
+    ),
+]
+
+
+def salient_row(
+    num_gpus: int = 16,
+    config: PipelineConfig = CONFIG_SALIENT,
+    measured_accuracy: Optional[float] = None,
+) -> tuple[SystemRow, float]:
+    """SALIENT's Table 7 row from the performance model.
+
+    Returns ``(row, inference_seconds)``; the paper reports 2.0 s training
+    and 2.4 s inference per epoch at 64.58% accuracy.
+    """
+    train = simulate_cluster_epoch("papers", num_gpus, config=config)
+    workload = PAPER_WORKLOADS["papers"]
+    # Inference epoch: fanout (20,20,20) over the test set, forward-only
+    # (about a third of the training step's GPU work: no backward pass).
+    infer = simulate_epoch(
+        "papers",
+        config,
+        workload=workload,
+        num_batches=max(workload.infer_batches // num_gpus, 1),
+        batch_scale=workload.infer_scale,
+        extra_gpu_time_per_batch=-workload.gpu_time * workload.infer_scale * 2.0 / 3.0,
+    )
+    row = SystemRow(
+        system="SALIENT (this repro)",
+        framework="PyTorch/PyG/DDP",
+        batching="mini-batch 1024, (15,10,5)",
+        gnn="GraphSAGE, L=3, h=256",
+        machines="8x (2x20 cores, 2 V100)",
+        dataset="ogbn-papers100M",
+        seconds_per_epoch=train.epoch_time,
+        accuracy=measured_accuracy,
+        source="simulated by repro.perfmodel",
+    )
+    return row, infer.epoch_time
+
+
+def systems_table(measured_accuracy: Optional[float] = None) -> list[dict]:
+    """All Table 7 rows as dicts ready for rendering."""
+    rows = [
+        {
+            "system": r.system,
+            "framework": r.framework,
+            "batching": r.batching,
+            "dataset": r.dataset,
+            "s/epoch": round(r.seconds_per_epoch, 2),
+            "acc (%)": r.accuracy if r.accuracy is not None else "N/A",
+        }
+        for r in COMPARATOR_SYSTEMS
+    ]
+    salient, infer_s = salient_row(measured_accuracy=measured_accuracy)
+    rows.append(
+        {
+            "system": salient.system,
+            "framework": salient.framework,
+            "batching": salient.batching,
+            "dataset": salient.dataset,
+            "s/epoch": f"train {salient.seconds_per_epoch:.1f} / infer {infer_s:.1f}",
+            "acc (%)": measured_accuracy if measured_accuracy is not None else "N/A",
+        }
+    )
+    return rows

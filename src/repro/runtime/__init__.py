@@ -1,0 +1,39 @@
+"""Runtime: queues, pinned buffers, simulated device/streams, executors."""
+
+from .device import Device, DeviceBatch, DeviceTensor, Stream, StreamEvent
+from .feature_cache import (
+    DeviceFeatureCache,
+    hottest_nodes,
+    transfer_batch_with_cache,
+)
+from .pinned import PinnedBuffer, PinnedBufferPool
+from .pipeline import EpochStats, PipelinedExecutor, SerialExecutor
+from .queues import BoundedOutputQueue, InputQueue, QueueClosed, StaticPartitionQueue
+from .trace import TraceEvent, Tracer, render_timeline
+from .workers import BatchPreparationPool, PreparedBatch, estimate_max_rows
+
+__all__ = [
+    "Device",
+    "DeviceBatch",
+    "DeviceTensor",
+    "Stream",
+    "StreamEvent",
+    "PinnedBuffer",
+    "PinnedBufferPool",
+    "EpochStats",
+    "SerialExecutor",
+    "PipelinedExecutor",
+    "InputQueue",
+    "StaticPartitionQueue",
+    "BoundedOutputQueue",
+    "QueueClosed",
+    "TraceEvent",
+    "Tracer",
+    "render_timeline",
+    "BatchPreparationPool",
+    "PreparedBatch",
+    "estimate_max_rows",
+    "DeviceFeatureCache",
+    "transfer_batch_with_cache",
+    "hottest_nodes",
+]

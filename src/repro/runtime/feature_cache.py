@@ -1,0 +1,107 @@
+"""Device-resident feature caching (Section 8 future work).
+
+"one must avail of additional techniques such as GPU-based slicing or
+caching data on the GPU to reduce the slicing or data transfer volume."
+
+:class:`DeviceFeatureCache` pins the features of a chosen node set (by
+default the highest-degree nodes — the ones sampled most often) on the
+simulated device in fp32. :func:`transfer_batch_with_cache` then moves only
+the *missing* rows over the bus and assembles the device-side feature
+matrix from cache hits plus transferred misses. Adjacency and labels still
+transfer normally.
+
+The extension bench (``bench_ablation_feature_cache.py``) sweeps the cache
+size and reports hit rate and transfer-volume reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..slicing.slicer import SlicedBatch
+from ..slicing.store import FeatureStore
+from .device import Device, DeviceBatch, DeviceTensor
+
+__all__ = ["DeviceFeatureCache", "transfer_batch_with_cache", "hottest_nodes"]
+
+
+def hottest_nodes(graph: CSRGraph, cache_size: int) -> np.ndarray:
+    """The ``cache_size`` highest-degree nodes (most frequently sampled)."""
+    if cache_size < 0 or cache_size > graph.num_nodes:
+        raise ValueError("cache_size out of range")
+    degrees = graph.degree()
+    return np.argpartition(degrees, -cache_size)[-cache_size:] if cache_size else (
+        np.empty(0, dtype=np.int64)
+    )
+
+
+class DeviceFeatureCache:
+    """Features of a fixed node set, resident on the device in fp32."""
+
+    def __init__(
+        self, device: Device, store: FeatureStore, node_ids: np.ndarray
+    ) -> None:
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        self.device = device
+        self._row_of = np.full(store.num_nodes, -1, dtype=np.int64)
+        self._row_of[node_ids] = np.arange(len(node_ids))
+        # One-time bulk upload of the resident set (metered).
+        resident = store.features[node_ids].astype(np.float32)
+        self.rows = device.to_device(resident).data
+        self.num_features = store.num_features
+        self.hits = 0
+        self.misses = 0
+        self.bytes_saved = 0
+
+    @property
+    def size(self) -> int:
+        return int((self._row_of >= 0).sum())
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lookup(self, n_id: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (cache row per node or -1, boolean hit mask)."""
+        rows = self._row_of[n_id]
+        return rows, rows >= 0
+
+
+def transfer_batch_with_cache(
+    device: Device,
+    cache: DeviceFeatureCache,
+    batch: SlicedBatch,
+    batch_index: int = -1,
+) -> DeviceBatch:
+    """Move a batch to the device, shipping only cache-miss feature rows."""
+    n_id = batch.mfg.n_id
+    rows, hit = cache.lookup(n_id)
+    miss_idx = np.flatnonzero(~hit)
+
+    # Meter only the miss payload + labels + adjacency.
+    miss_features = np.ascontiguousarray(batch.xs[: len(n_id)][miss_idx])
+    payload = miss_features.nbytes + batch.ys.nbytes + batch.mfg.nbytes()
+    adj_tensors = 1 + len(batch.mfg.adjs)
+    device._meter(payload, 2 + adj_tensors)
+
+    xs = np.empty((len(n_id), cache.num_features), dtype=np.float32)
+    hit_idx = np.flatnonzero(hit)
+    if len(hit_idx):
+        xs[hit_idx] = cache.rows[rows[hit_idx]]
+    if len(miss_idx):
+        xs[miss_idx] = miss_features.astype(np.float32)
+
+    cache.hits += int(hit.sum())
+    cache.misses += int(len(miss_idx))
+    full_bytes = batch.xs[: len(n_id)].nbytes
+    cache.bytes_saved += full_bytes - miss_features.nbytes
+
+    return DeviceBatch(
+        xs=DeviceTensor(xs, device),
+        ys=DeviceTensor(batch.ys.copy(), device),
+        mfg=batch.mfg,
+        batch_index=batch_index,
+    )

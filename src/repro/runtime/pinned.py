@@ -1,0 +1,82 @@
+"""Pinned host-memory buffer pool.
+
+Real pinned (page-locked) memory lets the DMA engine read host buffers
+directly, enabling asynchronous CPU->GPU copies. We model it as a pool of
+preallocated numpy buffers with explicit acquire/release: batch-preparation
+workers slice features straight into an acquired slot (Section 4.2's
+zero-copy handoff), the transfer stream consumes the slot, and the slot is
+recycled once the device copy completes. The pool bound doubles as pipeline
+backpressure, exactly like a fixed ring of pinned staging buffers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PinnedBuffer", "PinnedBufferPool"]
+
+
+@dataclass
+class PinnedBuffer:
+    """One staging slot: feature rows + label entries."""
+
+    slot: int
+    features: np.ndarray  # (max_rows, num_features)
+    labels: np.ndarray  # (max_batch,)
+
+
+class PinnedBufferPool:
+    """Fixed-size pool of staging buffers with blocking acquire."""
+
+    def __init__(
+        self,
+        num_slots: int,
+        max_rows: int,
+        num_features: int,
+        max_batch: int,
+        feature_dtype=np.float16,
+    ) -> None:
+        if num_slots < 1:
+            raise ValueError("need at least one slot")
+        self.max_rows = max_rows
+        self.num_features = num_features
+        self.max_batch = max_batch
+        self._buffers = [
+            PinnedBuffer(
+                slot=i,
+                features=np.empty((max_rows, num_features), dtype=feature_dtype),
+                labels=np.empty(max_batch, dtype=np.int64),
+            )
+            for i in range(num_slots)
+        ]
+        self._free = list(range(num_slots))
+        self._mutex = threading.Lock()
+        self._available = threading.Condition(self._mutex)
+        self.total_slots = num_slots
+
+    def acquire(self, timeout: Optional[float] = None) -> PinnedBuffer:
+        """Block until a slot is free; return it."""
+        with self._available:
+            while not self._free:
+                if not self._available.wait(timeout=timeout):
+                    raise TimeoutError("no pinned buffer became available")
+            return self._buffers[self._free.pop()]
+
+    def release(self, buffer: PinnedBuffer) -> None:
+        with self._available:
+            if buffer.slot in self._free:
+                raise ValueError(f"slot {buffer.slot} released twice")
+            self._free.append(buffer.slot)
+            self._available.notify()
+
+    def free_slots(self) -> int:
+        with self._mutex:
+            return len(self._free)
+
+    def nbytes(self) -> int:
+        """Total pinned memory footprint."""
+        return sum(b.features.nbytes + b.labels.nbytes for b in self._buffers)

@@ -1,0 +1,179 @@
+"""Shared-memory parallel batch preparation (Section 4.2).
+
+A pool of worker threads prepares batches *end-to-end*: each worker pulls a
+mini-batch's destination nodes from the dynamic input queue, samples its
+multi-hop neighborhood, and slices features/labels directly into a pinned
+staging buffer, then hands the prepared batch to the bounded output queue.
+
+Python threads stand in for SALIENT's C++ threads. The architectural
+properties carried over exactly: dynamic load balancing through a shared
+input queue, end-to-end per-batch ownership (sampling + slicing in one
+thread, serial slicing code), zero-copy handoff via pinned buffers, and
+bounded prefetch depth. What does not carry over on a single-core GIL
+interpreter is true parallel speedup — that is measured in
+``repro.perfmodel`` instead (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..sampling.base import NeighborSamplerBase
+from ..slicing.slicer import SlicedBatch, slice_batch_fused
+from ..slicing.store import FeatureStore
+from .pinned import PinnedBuffer, PinnedBufferPool
+from .queues import BoundedOutputQueue, InputQueue, QueueClosed
+from .trace import Tracer
+
+__all__ = ["PreparedBatch", "BatchPreparationPool", "estimate_max_rows"]
+
+
+def estimate_max_rows(
+    fanouts: Sequence[Optional[int]], batch_size: int, num_nodes: int
+) -> int:
+    """Upper bound on MFG node count: batch * prod(fanout_i + 1), capped.
+
+    The +1 accounts for each frontier node remaining in the next source set
+    (the destination-prefix property). ``None`` fanouts (full neighborhood)
+    cap at the graph size.
+    """
+    bound = batch_size
+    for fanout in fanouts:
+        if fanout is None:
+            return num_nodes
+        bound *= fanout + 1
+        if bound >= num_nodes:
+            return num_nodes
+    return min(bound, num_nodes)
+
+
+@dataclass
+class PreparedBatch:
+    """A sliced batch plus bookkeeping for buffer recycling."""
+
+    index: int
+    sliced: SlicedBatch
+    buffer: Optional[PinnedBuffer]  # None if the batch overflowed the pool
+
+
+class BatchPreparationPool:
+    """Thread pool preparing batches end-to-end into pinned memory."""
+
+    def __init__(
+        self,
+        sampler_factory: Callable[[], NeighborSamplerBase],
+        store: FeatureStore,
+        num_workers: int = 2,
+        prefetch_depth: int = 4,
+        pinned_pool: Optional[PinnedBufferPool] = None,
+        tracer: Optional[Tracer] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.sampler_factory = sampler_factory
+        self.store = store
+        self.num_workers = num_workers
+        self.prefetch_depth = prefetch_depth
+        self.pinned_pool = pinned_pool
+        self.tracer = tracer or Tracer(enabled=False)
+        self.seed = seed
+        self.overflow_count = 0  # batches that didn't fit a pinned slot
+
+    def _prepare_one(
+        self,
+        sampler: NeighborSamplerBase,
+        index: int,
+        nodes: np.ndarray,
+        worker_id: int,
+    ) -> PreparedBatch:
+        resource = f"cpu:{worker_id}"
+        # Per-batch-index RNG: results are independent of which worker
+        # runs which batch, keeping epochs reproducible under scheduling.
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, index]))
+        with self.tracer.span("sample", resource, index):
+            mfg = sampler.sample(nodes, rng)
+        buffer: Optional[PinnedBuffer] = None
+        if self.pinned_pool is not None and (
+            len(mfg.n_id) <= self.pinned_pool.max_rows
+            and mfg.batch_size <= self.pinned_pool.max_batch
+        ):
+            buffer = self.pinned_pool.acquire()
+            with self.tracer.span("slice", resource, index):
+                sliced = slice_batch_fused(
+                    self.store,
+                    mfg,
+                    xs_out=buffer.features,
+                    ys_out=buffer.labels,
+                    pinned_slot=buffer.slot,
+                )
+        else:
+            if self.pinned_pool is not None:
+                self.overflow_count += 1
+            with self.tracer.span("slice", resource, index):
+                sliced = slice_batch_fused(self.store, mfg)
+        return PreparedBatch(index=index, sliced=sliced, buffer=buffer)
+
+    def run(
+        self, batches: Sequence[np.ndarray]
+    ) -> tuple[BoundedOutputQueue, Callable[[], None]]:
+        """Start preparing ``batches``; returns (output queue, join fn).
+
+        The output queue yields :class:`PreparedBatch` objects in completion
+        order (not submission order — dynamic balancing reorders), followed
+        by :class:`QueueClosed` once everything is drained.
+        """
+        input_queue: InputQueue = InputQueue(list(enumerate(batches)))
+        output_queue: BoundedOutputQueue = BoundedOutputQueue(self.prefetch_depth)
+        errors: list[BaseException] = []
+        remaining = threading.Semaphore(0)
+        total = len(batches)
+
+        def worker(worker_id: int) -> None:
+            sampler = self.sampler_factory()
+            try:
+                while True:
+                    item = input_queue.get()
+                    if item is None:
+                        return
+                    index, nodes = item
+                    prepared = self._prepare_one(sampler, index, nodes, worker_id)
+                    try:
+                        output_queue.put(prepared)
+                    except QueueClosed:
+                        if prepared.buffer is not None:
+                            self.pinned_pool.release(prepared.buffer)
+                        return
+                    remaining.release()
+            except BaseException as exc:  # pragma: no cover - defensive
+                errors.append(exc)
+                output_queue.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True, name=f"prep-{i}")
+            for i in range(self.num_workers)
+        ]
+        for thread in threads:
+            thread.start()
+
+        closer = threading.Thread(
+            target=lambda: (
+                [remaining.acquire() for _ in range(total)],
+                output_queue.close(),
+            ),
+            daemon=True,
+        )
+        closer.start()
+
+        def join() -> None:
+            for thread in threads:
+                thread.join(timeout=60)
+            closer.join(timeout=60)
+            if errors:
+                raise errors[0]
+
+        return output_queue, join

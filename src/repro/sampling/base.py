@@ -1,0 +1,92 @@
+"""Sampler protocol and batch iteration shared by all sampler backends."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .mfg import MFG
+
+__all__ = ["NeighborSamplerBase", "BatchIterator", "full_fanouts"]
+
+
+def full_fanouts(num_layers: int) -> list[Optional[int]]:
+    """Fanout spec meaning "take the full neighborhood" at every layer."""
+    return [None] * num_layers
+
+
+class NeighborSamplerBase(abc.ABC):
+    """Node-wise neighborhood sampler over a CSR graph.
+
+    Subclasses implement :meth:`sample` for one mini-batch of target nodes.
+    Fanouts follow the paper's convention: ``fanouts[0]`` bounds the
+    neighbors sampled for the batch itself (the GNN's *last* layer), and the
+    produced MFG lists layers in model-consumption order (input side first).
+    A fanout of ``None`` keeps the full neighborhood at that hop.
+    """
+
+    def __init__(self, graph: CSRGraph, fanouts: Sequence[Optional[int]]) -> None:
+        if not fanouts:
+            raise ValueError("need at least one fanout entry")
+        for fanout in fanouts:
+            if fanout is not None and fanout < 1:
+                raise ValueError(f"fanouts must be >= 1 or None, got {fanout}")
+        self.graph = graph
+        self.fanouts = list(fanouts)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.fanouts)
+
+    @abc.abstractmethod
+    def sample(self, batch_nodes: np.ndarray, rng: np.random.Generator) -> MFG:
+        """Sample a multi-hop MFG for ``batch_nodes``."""
+
+
+class BatchIterator:
+    """Shuffled mini-batch id stream (the sampler's *input* queue).
+
+    Yields ``(2, batch)`` arrays of global node ids. This corresponds to the
+    lock-free input queue of destination nodes in SALIENT's batch
+    preparation (Section 4.2); the runtime workers pull from it dynamically.
+    """
+
+    def __init__(
+        self,
+        node_ids: np.ndarray,
+        batch_size: int,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.node_ids = np.asarray(node_ids, dtype=np.int64)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.node_ids)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        order = (
+            self.rng.permutation(len(self.node_ids))
+            if self.shuffle
+            else np.arange(len(self.node_ids))
+        )
+        ids = self.node_ids[order]
+        stop = len(ids)
+        if self.drop_last:
+            stop = (stop // self.batch_size) * self.batch_size
+        for start in range(0, stop, self.batch_size):
+            batch = ids[start : min(start + self.batch_size, stop)]
+            if len(batch):
+                yield batch

@@ -1,0 +1,349 @@
+"""Parameterized sampler implementation spanning Figure 2's design space.
+
+Section 4.1: "the space of possible design choices and optimizations is too
+large to explore manually. We designed a parameterized implementation of
+sampled MFG generation to systematically explore this optimization space" —
+96 instantiations benchmarked hop-by-hop against a reference trace.
+
+The knobs (3 x 4 x 4 x 2 = 96 variants):
+
+- ``id_map``: structure for global-to-local node ID mapping —
+  ``dict`` (hash map, the PyG baseline), ``array`` (flat preallocated array,
+  the paper's winning swiss-table-then-array design), ``hybrid``
+  (array fast-path for frontier nodes, dict for later discoveries).
+- ``sample_set``: set structure backing rejection sampling without
+  replacement — ``hashset`` (the STL-hash-set analogue), ``linear_array``
+  (linear-scan array: the paper's cache-friendly winner), ``sorted_array``
+  (binary-search insert), ``bitmask`` (dense per-degree flag array).
+- ``selection``: neighbor-selection algorithm — ``rejection`` (uses
+  ``sample_set``), ``fisher_yates`` (partial shuffle), ``reservoir``
+  (reservoir sampling), ``random_keys`` (sort-by-key top-k).
+- ``fused``: whether sampling and MFG construction happen in one pass
+  (SALIENT) or in two staged passes (PyG).
+
+All variants produce identically distributed MFG layers; the bench
+(``benchmarks/bench_fig2_design_space.py``) measures their relative
+throughput on a fixed hop-by-hop trace, mirroring the paper's
+microbenchmark methodology ("benchmark each individual hop of the reference
+trace instead of an end-to-end execution").
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import NeighborSamplerBase
+from .mfg import MFG, Adj
+
+__all__ = [
+    "SamplerVariant",
+    "ParameterizedSampler",
+    "all_variants",
+    "BASELINE_VARIANT",
+    "WINNING_VARIANT",
+]
+
+ID_MAPS = ("dict", "array", "hybrid")
+SAMPLE_SETS = ("hashset", "linear_array", "sorted_array", "bitmask")
+SELECTIONS = ("rejection", "fisher_yates", "reservoir", "random_keys")
+FUSIONS = (False, True)
+
+
+@dataclass(frozen=True)
+class SamplerVariant:
+    """One point in the sampler design space."""
+
+    id_map: str = "dict"
+    sample_set: str = "hashset"
+    selection: str = "rejection"
+    fused: bool = False
+
+    def __post_init__(self) -> None:
+        if self.id_map not in ID_MAPS:
+            raise ValueError(f"unknown id_map {self.id_map!r}")
+        if self.sample_set not in SAMPLE_SETS:
+            raise ValueError(f"unknown sample_set {self.sample_set!r}")
+        if self.selection not in SELECTIONS:
+            raise ValueError(f"unknown selection {self.selection!r}")
+
+    def label(self) -> str:
+        fusion = "fused" if self.fused else "staged"
+        return f"{self.id_map}/{self.sample_set}/{self.selection}/{fusion}"
+
+
+#: The PyG-like corner of the space (what Figure 2 normalizes against).
+BASELINE_VARIANT = SamplerVariant(
+    id_map="dict", sample_set="hashset", selection="rejection", fused=False
+)
+#: The paper's winning configuration (array map + array set + fused).
+WINNING_VARIANT = SamplerVariant(
+    id_map="array", sample_set="linear_array", selection="rejection", fused=True
+)
+
+
+def all_variants() -> list[SamplerVariant]:
+    """Enumerate all 96 instantiations (Figure 2's sweep)."""
+    return [
+        SamplerVariant(id_map=m, sample_set=s, selection=sel, fused=f)
+        for m, s, sel, f in product(ID_MAPS, SAMPLE_SETS, SELECTIONS, FUSIONS)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Neighbor-selection strategies (offsets into a node's adjacency list)
+# ----------------------------------------------------------------------
+def _select_rejection(
+    degree: int, fanout: int, rng: np.random.Generator, sample_set: str
+) -> list[int]:
+    """Uniform w/o replacement by rejection, parameterized by set structure."""
+    picks: list[int] = []
+    if sample_set == "hashset":
+        seen: set[int] = set()
+        while len(picks) < fanout:
+            offset = int(rng.integers(0, degree))
+            if offset not in seen:
+                seen.add(offset)
+                picks.append(offset)
+    elif sample_set == "linear_array":
+        # Linear membership scan; cache-friendly for small fanouts (the
+        # paper's winner despite O(k) lookup).
+        while len(picks) < fanout:
+            offset = int(rng.integers(0, degree))
+            if offset not in picks:  # list scan == linear array search
+                picks.append(offset)
+    elif sample_set == "sorted_array":
+        sorted_picks: list[int] = []
+        while len(sorted_picks) < fanout:
+            offset = int(rng.integers(0, degree))
+            pos = bisect.bisect_left(sorted_picks, offset)
+            if pos == len(sorted_picks) or sorted_picks[pos] != offset:
+                sorted_picks.insert(pos, offset)
+                picks.append(offset)
+    elif sample_set == "bitmask":
+        flags = np.zeros(degree, dtype=bool)
+        while len(picks) < fanout:
+            offset = int(rng.integers(0, degree))
+            if not flags[offset]:
+                flags[offset] = True
+                picks.append(offset)
+    else:  # pragma: no cover - guarded by SamplerVariant validation
+        raise ValueError(sample_set)
+    return picks
+
+
+def _select_fisher_yates(degree: int, fanout: int, rng: np.random.Generator) -> list[int]:
+    """Partial Fisher-Yates shuffle of the offset range."""
+    pool = list(range(degree))
+    for i in range(fanout):
+        j = int(rng.integers(i, degree))
+        pool[i], pool[j] = pool[j], pool[i]
+    return pool[:fanout]
+
+
+def _select_reservoir(degree: int, fanout: int, rng: np.random.Generator) -> list[int]:
+    """Reservoir sampling over the offset stream."""
+    reservoir = list(range(fanout))
+    for i in range(fanout, degree):
+        j = int(rng.integers(0, i + 1))
+        if j < fanout:
+            reservoir[j] = i
+    return reservoir
+
+
+def _select_random_keys(degree: int, fanout: int, rng: np.random.Generator) -> list[int]:
+    """Assign random keys to all offsets, keep the fanout smallest."""
+    keys = rng.random(degree)
+    return np.argpartition(keys, fanout)[:fanout].tolist()
+
+
+def _select(
+    degree: int,
+    fanout: Optional[int],
+    rng: np.random.Generator,
+    variant: SamplerVariant,
+) -> list[int]:
+    if fanout is None or degree <= fanout:
+        return list(range(degree))
+    if variant.selection == "rejection":
+        return _select_rejection(degree, fanout, rng, variant.sample_set)
+    if variant.selection == "fisher_yates":
+        return _select_fisher_yates(degree, fanout, rng)
+    if variant.selection == "reservoir":
+        return _select_reservoir(degree, fanout, rng)
+    return _select_random_keys(degree, fanout, rng)
+
+
+# ----------------------------------------------------------------------
+# Global-to-local ID maps
+# ----------------------------------------------------------------------
+class _DictIdMap:
+    """Hash-map mapping (PyG baseline)."""
+
+    def __init__(self, num_nodes: int, frontier: np.ndarray) -> None:
+        self.map = {int(v): i for i, v in enumerate(frontier)}
+        self.n_id = [int(v) for v in frontier]
+
+    def lookup_or_add(self, node: int) -> int:
+        local = self.map.get(node)
+        if local is None:
+            local = len(self.n_id)
+            self.map[node] = local
+            self.n_id.append(node)
+        return local
+
+    def finish(self) -> np.ndarray:
+        return np.asarray(self.n_id, dtype=np.int64)
+
+
+class _ArrayIdMap:
+    """Flat-array mapping (the paper's winning structure)."""
+
+    _shared: dict[int, np.ndarray] = {}
+
+    def __init__(self, num_nodes: int, frontier: np.ndarray) -> None:
+        # Reuse one scratch array per graph size to amortize allocation,
+        # like SALIENT's persistent per-thread buffers.
+        arr = self._shared.get(num_nodes)
+        if arr is None:
+            arr = np.full(num_nodes, -1, dtype=np.int64)
+            self._shared[num_nodes] = arr
+        self.arr = arr
+        self.n_id = [int(v) for v in frontier]
+        self.touched = list(self.n_id)
+        for i, v in enumerate(self.n_id):
+            arr[v] = i
+
+    def lookup_or_add(self, node: int) -> int:
+        local = self.arr[node]
+        if local < 0:
+            local = len(self.n_id)
+            self.arr[node] = local
+            self.n_id.append(node)
+            self.touched.append(node)
+        return int(local)
+
+    def finish(self) -> np.ndarray:
+        for v in self.touched:
+            self.arr[v] = -1
+        return np.asarray(self.n_id, dtype=np.int64)
+
+
+class _HybridIdMap:
+    """Array fast-path for the frontier, dict for later discoveries."""
+
+    _shared: dict[int, np.ndarray] = {}
+
+    def __init__(self, num_nodes: int, frontier: np.ndarray) -> None:
+        arr = self._shared.get(num_nodes)
+        if arr is None:
+            arr = np.full(num_nodes, -1, dtype=np.int64)
+            self._shared[num_nodes] = arr
+        self.arr = arr
+        self.n_id = [int(v) for v in frontier]
+        self.frontier_nodes = self.n_id[:]
+        for i, v in enumerate(self.n_id):
+            arr[v] = i
+        self.overflow: dict[int, int] = {}
+
+    def lookup_or_add(self, node: int) -> int:
+        local = self.arr[node]
+        if local >= 0:
+            return int(local)
+        local = self.overflow.get(node)
+        if local is None:
+            local = len(self.n_id)
+            self.overflow[node] = local
+            self.n_id.append(node)
+        return local
+
+    def finish(self) -> np.ndarray:
+        for v in self.frontier_nodes:
+            self.arr[v] = -1
+        return np.asarray(self.n_id, dtype=np.int64)
+
+
+_ID_MAP_CLASSES = {"dict": _DictIdMap, "array": _ArrayIdMap, "hybrid": _HybridIdMap}
+
+
+# ----------------------------------------------------------------------
+# Hop expansion
+# ----------------------------------------------------------------------
+def expand_hop(
+    graph: CSRGraph,
+    frontier: np.ndarray,
+    fanout: Optional[int],
+    rng: np.random.Generator,
+    variant: SamplerVariant,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-hop expansion under ``variant``; returns (n_id, edge_index)."""
+    indptr, indices = graph.indptr, graph.indices
+    id_map = _ID_MAP_CLASSES[variant.id_map](graph.num_nodes, frontier)
+
+    if variant.fused:
+        # Single pass: select offsets and emit remapped edges immediately.
+        rows: list[int] = []
+        cols: list[int] = []
+        for dst_local, v in enumerate(frontier):
+            start = int(indptr[v])
+            degree = int(indptr[v + 1]) - start
+            if degree == 0:
+                continue
+            for offset in _select(degree, fanout, rng, variant):
+                rows.append(id_map.lookup_or_add(int(indices[start + offset])))
+                cols.append(dst_local)
+    else:
+        # Staged: pass 1 samples neighbor ids, pass 2 remaps and assembles.
+        sampled: list[list[int]] = []
+        for v in frontier:
+            start = int(indptr[v])
+            degree = int(indptr[v + 1]) - start
+            if degree == 0:
+                sampled.append([])
+                continue
+            offsets = _select(degree, fanout, rng, variant)
+            sampled.append([int(indices[start + o]) for o in offsets])
+        rows, cols = [], []
+        for dst_local, neighbors in enumerate(sampled):
+            for u in neighbors:
+                rows.append(id_map.lookup_or_add(u))
+                cols.append(dst_local)
+
+    n_id = id_map.finish()
+    edge_index = np.array([rows, cols], dtype=np.int64).reshape(2, -1)
+    return n_id, edge_index
+
+
+class ParameterizedSampler(NeighborSamplerBase):
+    """Multi-hop sampler whose hop kernel is one of the 96 variants."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        fanouts: Sequence[Optional[int]],
+        variant: SamplerVariant = BASELINE_VARIANT,
+    ) -> None:
+        super().__init__(graph, fanouts)
+        self.variant = variant
+
+    def sample(self, batch_nodes: np.ndarray, rng: np.random.Generator) -> MFG:
+        batch_nodes = np.asarray(batch_nodes, dtype=np.int64)
+        if len(batch_nodes) == 0:
+            raise ValueError("empty batch")
+        n_id = batch_nodes
+        adjs: list[Adj] = []
+        for fanout in self.fanouts:
+            new_n_id, edge_index = expand_hop(
+                self.graph, n_id, fanout, rng, self.variant
+            )
+            adjs.append(
+                Adj(edge_index=edge_index, e_id=None, size=(len(new_n_id), len(n_id)))
+            )
+            n_id = new_n_id
+        adjs.reverse()
+        return MFG(n_id=n_id, adjs=adjs, batch_size=len(batch_nodes))

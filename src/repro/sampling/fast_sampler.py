@@ -1,0 +1,135 @@
+"""SALIENT's performance-engineered neighborhood sampler.
+
+Implements the winning design points from the paper's Figure 2 exploration,
+translated to the numpy substrate:
+
+1. **Array-based global-to-local ID map** instead of a hash map: a
+   persistent ``int64`` array of size ``num_nodes`` (reset lazily after each
+   batch by touching only used entries). In the paper this was the
+   flat-array swiss-table replacement worth ~2x.
+2. **Array-set deduplication**: newly discovered nodes are deduplicated with
+   vectorized first-occurrence selection rather than per-element hash-set
+   probing (the paper's "array instead of hash table for the set", +17%).
+3. **Fused sampling + MFG construction**: neighbor selection, ID remapping
+   and bipartite-layer assembly happen in one pass over flat arrays; no
+   staged intermediate per-node Python lists.
+
+On the numpy substrate, "performance-engineering" means the entire hop is a
+fixed number of O(D) / O(D log D) vectorized kernels (D = total frontier
+degree) with zero per-node Python work, versus the reference sampler's
+per-node dict/set loops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import NeighborSamplerBase
+from .mfg import MFG, Adj
+
+__all__ = ["FastNeighborSampler", "expand_frontier_vectorized"]
+
+
+def _gather_all_edges(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All incident edges of ``frontier``: (src_global, dst_local, degrees)."""
+    degrees = indptr[frontier + 1] - indptr[frontier]
+    total = int(degrees.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, degrees
+    starts = np.repeat(indptr[frontier], degrees)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(degrees) - degrees, degrees
+    )
+    src_global = indices[starts + offsets]
+    dst_local = np.repeat(np.arange(len(frontier), dtype=np.int64), degrees)
+    return src_global, dst_local, degrees
+
+
+def expand_frontier_vectorized(
+    graph: CSRGraph,
+    frontier: np.ndarray,
+    fanout: Optional[int],
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-hop uniform without-replacement expansion, fully vectorized.
+
+    Returns ``(src_global, dst_local)`` for the selected edges. Selection for
+    over-degree nodes uses the random-keys trick: draw one uniform key per
+    candidate edge and keep the ``fanout`` smallest keys per destination
+    segment — an exchangeable scheme equivalent to uniform sampling without
+    replacement.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    src_global, dst_local, degrees = _gather_all_edges(indptr, indices, frontier)
+    if fanout is None or len(src_global) == 0 or degrees.max() <= fanout:
+        return src_global, dst_local
+
+    total = len(src_global)
+    keys = rng.random(total)
+    # Candidate edges are already grouped by destination; lexsort orders by
+    # (segment, key) so each segment's smallest-key edges come first.
+    order = np.lexsort((keys, dst_local))
+    seg_starts = np.cumsum(degrees) - degrees
+    rank_in_segment = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, degrees)
+    cap = np.minimum(degrees, fanout)
+    keep_sorted = rank_in_segment < np.repeat(cap, degrees)
+    selected = order[keep_sorted]
+    # Restore ascending destination order (selected is already grouped by
+    # segment because lexsort's primary key was dst_local).
+    return src_global[selected], dst_local[selected]
+
+
+class FastNeighborSampler(NeighborSamplerBase):
+    """Fused, array-mapped, vectorized multi-hop sampler (SALIENT)."""
+
+    def __init__(self, graph: CSRGraph, fanouts: Sequence[Optional[int]]) -> None:
+        super().__init__(graph, fanouts)
+        # Persistent array ID map (design point 1). Reset lazily per batch.
+        self._local_of = np.full(graph.num_nodes, -1, dtype=np.int64)
+
+    def sample(self, batch_nodes: np.ndarray, rng: np.random.Generator) -> MFG:
+        batch_nodes = np.asarray(batch_nodes, dtype=np.int64)
+        if len(batch_nodes) == 0:
+            raise ValueError("empty batch")
+        local_of = self._local_of
+        touched: list[np.ndarray] = [batch_nodes]
+        local_of[batch_nodes] = np.arange(len(batch_nodes), dtype=np.int64)
+
+        n_id = batch_nodes.copy()
+        adjs: list[Adj] = []
+        try:
+            for fanout in self.fanouts:
+                n_dst = len(n_id)
+                src_global, dst_local = expand_frontier_vectorized(
+                    self.graph, n_id, fanout, rng
+                )
+                # Fused remap + dedup (design points 2 and 3): find first
+                # occurrences of unseen globals in discovery order.
+                src_local = local_of[src_global]
+                new_mask = src_local < 0
+                if new_mask.any():
+                    new_globals = src_global[new_mask]
+                    uniq, first_pos = np.unique(new_globals, return_index=True)
+                    discovery = np.argsort(first_pos, kind="stable")
+                    ordered_new = uniq[discovery]
+                    local_of[ordered_new] = len(n_id) + np.arange(
+                        len(ordered_new), dtype=np.int64
+                    )
+                    touched.append(ordered_new)
+                    n_id = np.concatenate([n_id, ordered_new])
+                    src_local = local_of[src_global]
+                edge_index = np.stack([src_local, dst_local])
+                adjs.append(
+                    Adj(edge_index=edge_index, e_id=None, size=(len(n_id), n_dst))
+                )
+        finally:
+            for arr in touched:
+                local_of[arr] = -1
+        adjs.reverse()
+        return MFG(n_id=n_id, adjs=adjs, batch_size=len(batch_nodes))

@@ -1,0 +1,175 @@
+"""Lazy sampling schedules and cache-restricted sampling (Section 2.2).
+
+Two follow-up ideas the paper cites as orthogonal to SALIENT:
+
+- **LazyGCN** (Ramezani et al., 2020) lowers the *sampling frequency*: the
+  MFGs sampled in one "mega-batch" round are recycled for R subsequent
+  training passes. :class:`LazySamplerSchedule` wraps any
+  :class:`NeighborSamplerBase` and replays cached MFGs until refresh.
+- **GNS** (Dong et al., 2021) caches a global, sufficiently large node
+  sample and restricts node-wise sampling to cached neighbors whenever
+  possible, cutting sampler memory traffic. :class:`CacheRestrictedSampler`
+  implements that periodically-refreshed cache.
+
+Both are exercised by the extension ablation bench
+(``benchmarks/bench_ablation_sampling_strategies.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import NeighborSamplerBase
+from .fast_sampler import FastNeighborSampler
+from .mfg import MFG
+
+__all__ = ["LazySamplerSchedule", "CacheRestrictedSampler"]
+
+
+class LazySamplerSchedule:
+    """Recycle sampled MFGs for ``recycle`` passes before resampling.
+
+    Keyed by batch index: call :meth:`sample` with the batch's position in
+    the epoch; every ``recycle``-th epoch the cache entry refreshes.
+    Recycling trades gradient freshness for sampling throughput — LazyGCN
+    shows convergence tolerates moderate recycling.
+    """
+
+    def __init__(self, sampler: NeighborSamplerBase, recycle: int = 2) -> None:
+        if recycle < 1:
+            raise ValueError("recycle period must be >= 1")
+        self.sampler = sampler
+        self.recycle = recycle
+        self._cache: dict[int, MFG] = {}
+        self._epoch = 0
+        self.sampler_calls = 0
+
+    def start_epoch(self, epoch: int) -> None:
+        self._epoch = epoch
+        if epoch % self.recycle == 0:
+            self._cache.clear()
+
+    def sample(
+        self, batch_index: int, batch_nodes: np.ndarray, rng: np.random.Generator
+    ) -> MFG:
+        cached = self._cache.get(batch_index)
+        if cached is not None:
+            return cached
+        mfg = self.sampler.sample(batch_nodes, rng)
+        self.sampler_calls += 1
+        self._cache[batch_index] = mfg
+        return mfg
+
+
+class CacheRestrictedSampler(NeighborSamplerBase):
+    """GNS-style sampling restricted to a periodically refreshed node cache.
+
+    A global cache of ``cache_size`` nodes is drawn degree-proportionally
+    (hot hubs are most reusable). During expansion, a node's neighbor pool
+    is its cached neighbors when at least ``fanout`` of them exist,
+    otherwise the full neighbor list (the GNS fallback). Larger caches
+    recover plain node-wise sampling; smaller ones trade accuracy for
+    locality.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        fanouts: Sequence[Optional[int]],
+        cache_size: int,
+        refresh_every: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(graph, fanouts)
+        if cache_size < 1 or cache_size > graph.num_nodes:
+            raise ValueError("cache_size out of range")
+        self.cache_size = cache_size
+        self.refresh_every = max(refresh_every, 1)
+        self._rng = rng or np.random.default_rng()
+        self._epoch = 0
+        self._cached_mask = np.zeros(graph.num_nodes, dtype=bool)
+        self.fallback_count = 0
+        self.cached_hit_count = 0
+        self._refresh()
+
+    def _refresh(self) -> None:
+        degrees = self.graph.degree().astype(np.float64) + 1.0
+        probs = degrees / degrees.sum()
+        cached = self._rng.choice(
+            self.graph.num_nodes, size=self.cache_size, replace=False, p=probs
+        )
+        self._cached_mask[:] = False
+        self._cached_mask[cached] = True
+
+    def start_epoch(self, epoch: int) -> None:
+        if epoch != self._epoch and epoch % self.refresh_every == 0:
+            self._refresh()
+        self._epoch = epoch
+
+    @property
+    def cached_nodes(self) -> np.ndarray:
+        return np.flatnonzero(self._cached_mask)
+
+    def sample(self, batch_nodes: np.ndarray, rng: np.random.Generator) -> MFG:
+        # Restrict the underlying fast sampler by masking adjacency on the
+        # fly: build per-hop restricted neighbor pools.
+        batch_nodes = np.asarray(batch_nodes, dtype=np.int64)
+        if len(batch_nodes) == 0:
+            raise ValueError("empty batch")
+        from .mfg import Adj
+
+        local_of = np.full(self.graph.num_nodes, -1, dtype=np.int64)
+        local_of[batch_nodes] = np.arange(len(batch_nodes))
+        touched = [batch_nodes]
+        n_id = batch_nodes.copy()
+        adjs: list[Adj] = []
+        indptr, indices = self.graph.indptr, self.graph.indices
+        try:
+            for fanout in self.fanouts:
+                frontier = n_id
+                n_dst = len(frontier)
+                rows, cols = [], []
+                new_nodes: list[int] = []
+                next_local = len(frontier)
+                for dst_local, v in enumerate(frontier):
+                    neighbors = indices[indptr[v] : indptr[v + 1]]
+                    if len(neighbors) == 0:
+                        continue
+                    cached = neighbors[self._cached_mask[neighbors]]
+                    if fanout is not None and len(cached) >= fanout:
+                        pool = cached
+                        self.cached_hit_count += 1
+                    else:
+                        pool = neighbors  # GNS fallback to the full list
+                        self.fallback_count += 1
+                    if fanout is None or len(pool) <= fanout:
+                        chosen = pool
+                    else:
+                        keys = rng.random(len(pool))
+                        chosen = pool[np.argpartition(keys, fanout)[:fanout]]
+                    for u in chosen:
+                        u = int(u)
+                        local = local_of[u]
+                        if local < 0:
+                            local = next_local
+                            next_local += 1
+                            local_of[u] = local
+                            new_nodes.append(u)
+                        rows.append(int(local))
+                        cols.append(dst_local)
+                if new_nodes:
+                    added = np.asarray(new_nodes, dtype=np.int64)
+                    touched.append(added)
+                    n_id = np.concatenate([n_id, added])
+                edge_index = np.array([rows, cols], dtype=np.int64).reshape(2, -1)
+                adjs.append(
+                    Adj(edge_index=edge_index, e_id=None, size=(len(n_id), n_dst))
+                )
+        finally:
+            for arr in touched:
+                local_of[arr] = -1
+        adjs.reverse()
+        return MFG(n_id=n_id, adjs=adjs, batch_size=len(batch_nodes))

@@ -1,0 +1,133 @@
+"""Subgraph sampling: GraphSAINT and Cluster-GCN styles (Section 2.2).
+
+The third family in the paper's sampling taxonomy: "sample a connected
+subgraph and compute mini-batch loss restricted to this subgraph". Training
+then runs *full-batch within the subgraph* — no MFG, no per-layer
+neighborhood explosion.
+
+- ``RandomNodeSubgraphSampler``   — GraphSAINT-Node: uniform node sample.
+- ``RandomWalkSubgraphSampler``   — GraphSAINT-RW: union of short random
+  walks from random roots (well-connected subgraphs).
+- ``ClusterSubgraphSampler``      — Cluster-GCN: precomputed partition
+  (``repro.graph.bfs_partition``), one or more clusters per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.partition import bfs_partition
+
+__all__ = [
+    "SampledSubgraph",
+    "RandomNodeSubgraphSampler",
+    "RandomWalkSubgraphSampler",
+    "ClusterSubgraphSampler",
+]
+
+
+@dataclass
+class SampledSubgraph:
+    """An induced training subgraph with its global node mapping."""
+
+    graph: CSRGraph  # induced subgraph, locally relabeled
+    n_id: np.ndarray  # local -> global node ids
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    def full_mfg_layers(self, num_layers: int):
+        """Express the subgraph as MFG layers so the standard architectures
+        run unchanged: every layer is the full (local) adjacency with the
+        whole node set as both source and destination."""
+        from .mfg import Adj
+
+        edge_index = self.graph.edge_index()
+        n = self.graph.num_nodes
+        return [
+            Adj(edge_index=edge_index, e_id=None, size=(n, n))
+            for _ in range(num_layers)
+        ]
+
+
+class RandomNodeSubgraphSampler:
+    """GraphSAINT-Node: induce on a uniform sample of nodes."""
+
+    def __init__(self, graph: CSRGraph, subgraph_size: int) -> None:
+        if subgraph_size < 1 or subgraph_size > graph.num_nodes:
+            raise ValueError("subgraph_size out of range")
+        self.graph = graph
+        self.subgraph_size = subgraph_size
+
+    def sample(self, rng: np.random.Generator) -> SampledSubgraph:
+        nodes = np.sort(
+            rng.choice(self.graph.num_nodes, size=self.subgraph_size, replace=False)
+        )
+        sub, mapping = self.graph.induced_subgraph(nodes)
+        return SampledSubgraph(graph=sub, n_id=mapping)
+
+
+class RandomWalkSubgraphSampler:
+    """GraphSAINT-RW: induce on the union of random walks."""
+
+    def __init__(self, graph: CSRGraph, num_roots: int, walk_length: int) -> None:
+        if num_roots < 1 or walk_length < 1:
+            raise ValueError("num_roots and walk_length must be >= 1")
+        self.graph = graph
+        self.num_roots = num_roots
+        self.walk_length = walk_length
+
+    def sample(self, rng: np.random.Generator) -> SampledSubgraph:
+        indptr, indices = self.graph.indptr, self.graph.indices
+        current = rng.integers(0, self.graph.num_nodes, size=self.num_roots)
+        visited = [current.copy()]
+        for _ in range(self.walk_length):
+            degrees = indptr[current + 1] - indptr[current]
+            stuck = degrees == 0
+            offsets = np.where(
+                stuck, 0, rng.integers(0, np.maximum(degrees, 1))
+            )
+            nxt = np.where(
+                stuck, current, indices[indptr[current] + offsets]
+            )
+            visited.append(nxt.copy())
+            current = nxt
+        nodes = np.unique(np.concatenate(visited))
+        sub, mapping = self.graph.induced_subgraph(nodes)
+        return SampledSubgraph(graph=sub, n_id=mapping)
+
+
+class ClusterSubgraphSampler:
+    """Cluster-GCN: partition once, then train cluster-by-cluster."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        num_clusters: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.graph = graph
+        self.partition = bfs_partition(
+            graph, num_clusters, rng=rng or np.random.default_rng()
+        )
+        self.num_clusters = num_clusters
+
+    def sample(
+        self, rng: np.random.Generator, clusters_per_batch: int = 1
+    ) -> SampledSubgraph:
+        picked = rng.choice(
+            self.num_clusters, size=min(clusters_per_batch, self.num_clusters),
+            replace=False,
+        )
+        mask = np.isin(self.partition.assignment, picked)
+        nodes = np.flatnonzero(mask)
+        sub, mapping = self.graph.induced_subgraph(nodes)
+        return SampledSubgraph(graph=sub, n_id=mapping)
+
+    def cluster_nodes(self, cluster: int) -> np.ndarray:
+        return np.flatnonzero(self.partition.assignment == cluster)

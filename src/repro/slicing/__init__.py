@@ -1,0 +1,11 @@
+"""Feature/label slicing and the host-memory feature store."""
+
+from .slicer import SlicedBatch, slice_batch_fused, slice_batch_reference
+from .store import FeatureStore
+
+__all__ = [
+    "FeatureStore",
+    "SlicedBatch",
+    "slice_batch_reference",
+    "slice_batch_fused",
+]

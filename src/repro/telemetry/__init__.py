@@ -1,0 +1,12 @@
+"""Timers, counters and table/bar rendering for benches."""
+
+from .tables import format_bar_chart, format_seconds, format_table
+from .timers import StageTimers, Timer
+
+__all__ = [
+    "Timer",
+    "StageTimers",
+    "format_table",
+    "format_seconds",
+    "format_bar_chart",
+]

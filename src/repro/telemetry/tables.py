@@ -1,0 +1,63 @@
+"""Plain-text table rendering for benchmark output.
+
+Every bench prints its reproduced table/figure through these helpers so the
+output visually matches the paper's row/column structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["format_table", "format_seconds", "format_bar_chart"]
+
+
+def format_seconds(value: float) -> str:
+    """Human scale: '13.9s' / '250ms' / '87us'."""
+    if value >= 1.0:
+        return f"{value:.1f}s" if value >= 10 else f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    floatfmt: str = "{:.4g}",
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    table = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in table)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    rule = "-" * len(header)
+    body = "\n".join("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in table)
+    parts = [title, header, rule, body] if title else [header, rule, body]
+    return "\n".join(parts)
+
+
+def format_bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 50, unit: str = ""
+) -> str:
+    """Horizontal ASCII bars (stand-in for the paper's bar figures)."""
+    if not values:
+        return "(empty)"
+    peak = max(values) or 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(value / peak * width), 1 if value > 0 else 0)
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)

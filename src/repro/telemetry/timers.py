@@ -1,0 +1,58 @@
+"""Wall-clock timing utilities used by benchmarks and executors."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Timer", "StageTimers"]
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch. Use as a context manager per measured span."""
+
+    total: float = 0.0
+    count: int = 0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.total += time.perf_counter() - self._start
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+
+class StageTimers:
+    """Named collection of timers (one per pipeline stage)."""
+
+    def __init__(self) -> None:
+        self._timers: dict[str, Timer] = {}
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        timer = self._timers.setdefault(name, Timer())
+        with timer:
+            yield
+
+    def __getitem__(self, name: str) -> Timer:
+        return self._timers[name]
+
+    def totals(self) -> dict[str, float]:
+        return {name: t.total for name, t in self._timers.items()}
+
+    def reset(self) -> None:
+        for timer in self._timers.values():
+            timer.reset()

@@ -1,0 +1,16 @@
+"""Numpy-backed autograd engine: the reproduction's PyTorch substitute.
+
+Public surface:
+
+- :class:`Tensor`, :class:`no_grad` — core tensor with reverse-mode autodiff.
+- :mod:`repro.tensor.functional` — ``log_softmax``, ``dropout``, losses and
+  the segment ops implementing message passing.
+- :mod:`repro.tensor.init` — Glorot/Kaiming initializers.
+- :mod:`repro.tensor.kernels` — non-differentiable numpy kernels (scatter,
+  segment reductions) shared with the graph substrate.
+"""
+
+from . import functional, init, kernels
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "init", "kernels"]

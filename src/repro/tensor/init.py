@@ -1,0 +1,59 @@
+"""Parameter initialization schemes (Glorot/Kaiming) used by the NN layers."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["glorot_uniform", "kaiming_uniform", "zeros", "ones", "uniform", "normal"]
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: Optional[np.random.Generator] = None
+) -> Tensor:
+    """Glorot/Xavier uniform init; the PyG default for conv layer weights."""
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    data = _rng(rng).uniform(-limit, limit, size=(fan_out, fan_in)).astype(np.float32)
+    return Tensor(data, requires_grad=True)
+
+
+def kaiming_uniform(
+    fan_in: int, fan_out: int, rng: Optional[np.random.Generator] = None, a: float = math.sqrt(5)
+) -> Tensor:
+    """Kaiming uniform with PyTorch's Linear default gain."""
+    gain = math.sqrt(2.0 / (1 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    data = _rng(rng).uniform(-bound, bound, size=(fan_out, fan_in)).astype(np.float32)
+    return Tensor(data, requires_grad=True)
+
+
+def zeros(*shape: int) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=True)
+
+
+def ones(*shape: int) -> Tensor:
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=True)
+
+
+def uniform(
+    low: float, high: float, shape: tuple, rng: Optional[np.random.Generator] = None
+) -> Tensor:
+    return Tensor(
+        _rng(rng).uniform(low, high, size=shape).astype(np.float32), requires_grad=True
+    )
+
+
+def normal(
+    mean: float, std: float, shape: tuple, rng: Optional[np.random.Generator] = None
+) -> Tensor:
+    return Tensor(
+        _rng(rng).normal(mean, std, size=shape).astype(np.float32), requires_grad=True
+    )

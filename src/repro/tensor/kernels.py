@@ -1,0 +1,136 @@
+"""Low-level numpy kernels shared by autograd ops and graph aggregation.
+
+These are the "compiled extension" analogues of this reproduction: the few
+routines whose cost dominates message passing (row scatter-add, segment
+reductions). Each has an obvious reference formulation in the test suite and
+an optimized formulation here (bincount-based accumulation, sort-based
+segment reduction) per the ml-systems performance guide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "scatter_add_rows",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "segment_counts",
+]
+
+
+def scatter_add_rows(values: np.ndarray, index: np.ndarray, n_rows: int) -> np.ndarray:
+    """Accumulate ``values[i]`` into ``out[index[i]]`` for 1-D/2-D values.
+
+    This is the transpose of a row gather and the core primitive of both
+    neighborhood aggregation (forward) and feature-gather backward.
+
+    Implementation note: ``np.add.at`` is notoriously slow (scalar inner
+    loop); for the 2-D float case we instead flatten (row, col) pairs and use
+    ``np.bincount``, which accumulates at C speed. Accumulation happens in
+    float64 and is cast back, keeping results deterministic and accurate.
+    """
+    index = np.asarray(index)
+    if index.ndim != 1:
+        raise ValueError("index must be 1-D")
+    if values.shape[0] != index.shape[0]:
+        raise ValueError(
+            f"values rows ({values.shape[0]}) != index length ({index.shape[0]})"
+        )
+    if values.ndim == 1:
+        out = np.bincount(index, weights=values.astype(np.float64), minlength=n_rows)
+        return out.astype(values.dtype)
+    if values.ndim != 2:
+        raise ValueError("only 1-D or 2-D values are supported")
+
+    n_cols = values.shape[1]
+    out = np.zeros((n_rows, n_cols), dtype=values.dtype)
+    if values.shape[0] == 0:
+        return out
+    # Process column blocks to bound the temporary (index*width) array size.
+    block_cols = max(1, min(n_cols, 1 << 22 // max(values.shape[0], 1)))
+    col = 0
+    base = index.astype(np.int64)
+    while col < n_cols:
+        stop = min(col + block_cols, n_cols)
+        width = stop - col
+        flat_idx = (base[:, None] * width + np.arange(width, dtype=np.int64)[None, :]).ravel()
+        acc = np.bincount(
+            flat_idx,
+            weights=values[:, col:stop].ravel().astype(np.float64),
+            minlength=n_rows * width,
+        )
+        out[:, col:stop] = acc.reshape(n_rows, width).astype(values.dtype)
+        col = stop
+    return out
+
+
+def segment_counts(index: np.ndarray, n_segments: int) -> np.ndarray:
+    """Number of elements per segment (int64)."""
+    return np.bincount(np.asarray(index), minlength=n_segments).astype(np.int64)
+
+
+def segment_sum(values: np.ndarray, index: np.ndarray, n_segments: int) -> np.ndarray:
+    """Sum ``values`` grouped by ``index`` into ``n_segments`` rows."""
+    return scatter_add_rows(values, index, n_segments)
+
+
+def segment_mean(values: np.ndarray, index: np.ndarray, n_segments: int) -> np.ndarray:
+    """Mean of ``values`` per segment; empty segments yield zero rows."""
+    sums = segment_sum(values, index, n_segments)
+    counts = segment_counts(index, n_segments).astype(values.dtype)
+    counts = np.maximum(counts, 1)
+    if sums.ndim == 2:
+        return sums / counts[:, None]
+    return sums / counts
+
+
+def segment_max(
+    values: np.ndarray, index: np.ndarray, n_segments: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Max of ``values`` per segment, plus the argmax element index per slot.
+
+    Returns
+    -------
+    out:
+        ``(n_segments, n_cols)`` array; empty segments are zero.
+    argmax:
+        ``(n_segments, n_cols)`` int64 array of the winning element index per
+        (segment, column) slot, or -1 for empty segments. Used to route
+        gradients back in the autograd wrapper.
+    """
+    squeeze = False
+    if values.ndim == 1:
+        values = values[:, None]
+        squeeze = True
+    index = np.asarray(index)
+    n_elems, n_cols = values.shape
+    out = np.zeros((n_segments, n_cols), dtype=values.dtype)
+    argmax = np.full((n_segments, n_cols), -1, dtype=np.int64)
+    if n_elems == 0:
+        return (out[:, 0], argmax[:, 0]) if squeeze else (out, argmax)
+
+    order = np.argsort(index, kind="stable")
+    sorted_idx = index[order]
+    sorted_vals = values[order]
+    boundaries = np.flatnonzero(np.diff(sorted_idx)) + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [n_elems]])
+    seg_ids = sorted_idx[starts]
+    # maximum.reduceat handles contiguous runs at C speed.
+    out[seg_ids] = np.maximum.reduceat(sorted_vals, starts, axis=0)
+    # Recover the argmax via a masked comparison against the per-segment max.
+    expanded_max = out[index]
+    is_max = values == expanded_max
+    # First matching element per (segment, col): iterate columns, still C-heavy.
+    elem_ids = np.arange(n_elems, dtype=np.int64)
+    for col in range(n_cols):
+        winners = np.where(is_max[:, col], elem_ids, np.iinfo(np.int64).max)
+        best = np.full(n_segments, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(best, index, winners)
+        hit = best != np.iinfo(np.int64).max
+        argmax[hit, col] = best[hit]
+    if squeeze:
+        return out[:, 0], argmax[:, 0]
+    return out, argmax

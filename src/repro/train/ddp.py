@@ -1,0 +1,210 @@
+"""Distributed data-parallel (DDP) training, simulated.
+
+SALIENT "straightforwardly applies the PyTorch DDP module" (Section 6):
+each of K ranks holds a model replica, trains on its own shard of each
+global batch, and gradients are averaged with an all-reduce before every
+optimizer step, keeping replicas bit-identical.
+
+Without multiple machines we *execute* the ranks sequentially but preserve
+DDP's exact semantics: per-rank samplers and batches, gradient averaging,
+replicated optimizer state. ``allreduce_seconds`` provides the ring
+all-reduce cost model that the perf simulator uses for Figure 5's scaling
+curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..datasets.synthetic import Dataset
+from ..models.architectures import build_model
+from ..nn.optim import Adam
+from ..sampling.base import BatchIterator
+from ..sampling.fast_sampler import FastNeighborSampler
+from ..tensor import Tensor, functional as F
+from .config import ExperimentConfig
+from .inference import sampled_inference
+from .metrics import accuracy
+
+__all__ = ["DDPTrainer", "allreduce_seconds"]
+
+
+def allreduce_seconds(
+    param_bytes: int,
+    num_ranks: int,
+    bandwidth: float = 1.25e9,  # 10GigE in bytes/s (the paper's network)
+    latency: float = 50e-6,
+    steps_latency_factor: int = 2,
+) -> float:
+    """Ring all-reduce time: 2(K-1)/K of the buffer over the slowest link."""
+    if num_ranks <= 1:
+        return 0.0
+    volume = 2.0 * (num_ranks - 1) / num_ranks * param_bytes
+    return volume / bandwidth + steps_latency_factor * (num_ranks - 1) * latency
+
+
+@dataclass
+class DDPStepStats:
+    loss: float
+    grad_norm: float
+
+
+class DDPTrainer:
+    """K-rank data-parallel trainer with exact gradient-averaging semantics."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: ExperimentConfig,
+        num_ranks: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        self.dataset = dataset
+        self.config = config
+        self.num_ranks = num_ranks
+        self.seed = seed
+
+        # All replicas start from identical parameters (DDP broadcast).
+        self.replicas = []
+        self.optimizers = []
+        for _ in range(num_ranks):
+            model = build_model(
+                config.model,
+                dataset.num_features,
+                config.hidden_channels,
+                dataset.num_classes,
+                num_layers=config.num_layers,
+                rng=np.random.default_rng(np.random.SeedSequence([seed, 101])),
+            )
+            self.replicas.append(model)
+            self.optimizers.append(Adam(model.parameters(), lr=config.lr))
+        reference = self.replicas[0].state_dict()
+        for model in self.replicas[1:]:
+            model.load_state_dict(reference)
+
+        self.samplers = [
+            FastNeighborSampler(dataset.graph, list(config.train_fanouts))
+            for _ in range(num_ranks)
+        ]
+
+    # ------------------------------------------------------------------
+    def param_bytes(self) -> int:
+        return sum(p.data.nbytes for p in self.replicas[0].parameters())
+
+    def _rank_shards(self, epoch: int) -> list[list[np.ndarray]]:
+        """Per-rank mini-batch node lists; effective batch = K * per-GPU.
+
+        Matches the paper's scaling protocol: "the effective batch size is
+        proportional to the number of GPUs" — each rank keeps the per-GPU
+        batch size and the train set is sharded across ranks.
+        """
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, 7, epoch]))
+        order = rng.permutation(self.dataset.split.train)
+        shards: list[list[np.ndarray]] = [[] for _ in range(self.num_ranks)]
+        per_global = self.config.batch_size * self.num_ranks
+        for start in range(0, len(order), per_global):
+            window = order[start : start + per_global]
+            pieces = np.array_split(window, self.num_ranks)
+            for rank, piece in enumerate(pieces):
+                if len(piece):
+                    shards[rank].append(piece)
+        return shards
+
+    def _rank_grads(
+        self, rank: int, nodes: np.ndarray, step_index: int
+    ) -> tuple[list[np.ndarray], float]:
+        model = self.replicas[rank]
+        model.train()
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, 11, step_index, rank])
+        )
+        mfg = self.samplers[rank].sample(nodes, rng)
+        x = Tensor(self.dataset.features[mfg.n_id].astype(np.float32))
+        y = self.dataset.labels[mfg.target_ids()]
+        model.zero_grad()
+        loss = F.nll_loss(model(x, mfg.adjs), y)
+        loss.backward()
+        grads = [
+            p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
+            for p in model.parameters()
+        ]
+        return grads, loss.item()
+
+    def train_epoch(self, epoch: int = 0) -> list[DDPStepStats]:
+        """One epoch of synchronized data-parallel steps."""
+        shards = self._rank_shards(epoch)
+        num_steps = max(len(s) for s in shards)
+        history: list[DDPStepStats] = []
+        for step in range(num_steps):
+            all_grads: list[list[np.ndarray]] = []
+            losses: list[float] = []
+            for rank in range(self.num_ranks):
+                if step >= len(shards[rank]):
+                    continue  # rank has no batch this step (tail of epoch)
+                grads, loss = self._rank_grads(rank, shards[rank][step], step)
+                all_grads.append(grads)
+                losses.append(loss)
+            # All-reduce: average gradients across participating ranks.
+            averaged = [
+                np.mean([grads[i] for grads in all_grads], axis=0)
+                for i in range(len(all_grads[0]))
+            ]
+            grad_norm = float(
+                np.sqrt(sum(float((g.astype(np.float64) ** 2).sum()) for g in averaged))
+            )
+            # Identical update on every replica (optimizer states stay in sync).
+            for model, optimizer in zip(self.replicas, self.optimizers):
+                for param, grad in zip(model.parameters(), averaged):
+                    param.grad = grad.copy()
+                optimizer.step()
+                model.zero_grad()
+            history.append(DDPStepStats(loss=float(np.mean(losses)), grad_norm=grad_norm))
+        return history
+
+    def max_replica_divergence(self) -> float:
+        """Max abs parameter difference across replicas (0 when in sync)."""
+        reference = self.replicas[0].state_dict()
+        worst = 0.0
+        for model in self.replicas[1:]:
+            for name, value in model.state_dict().items():
+                worst = max(worst, float(np.abs(reference[name] - value).max()))
+        return worst
+
+    def evaluate(self, split: str = "val", seed: int = 1234) -> float:
+        nodes = getattr(self.dataset.split, split)
+        log_probs = self.distributed_inference(nodes, seed=seed)
+        return accuracy(log_probs, self.dataset.labels[nodes])
+
+    def distributed_inference(
+        self, nodes: np.ndarray, seed: int = 1234
+    ) -> np.ndarray:
+        """Sampled inference sharded across ranks (Section 5: "mini-batch
+        inference ... can be executed in a distributed data parallel
+        context"). Each rank predicts a contiguous shard with its own
+        replica; results are gathered in order. Because replicas are kept
+        identical, the gathered output equals single-rank inference up to
+        sampling seeds.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        shards = np.array_split(nodes, self.num_ranks)
+        pieces: list[np.ndarray] = []
+        for rank, shard in enumerate(shards):
+            if len(shard) == 0:
+                continue
+            pieces.append(
+                sampled_inference(
+                    self.replicas[rank],
+                    self.dataset.features,
+                    self.dataset.graph,
+                    shard,
+                    list(self.config.infer_fanouts),
+                    batch_size=self.config.batch_size,
+                    seed=seed + rank,
+                )
+            )
+        return np.concatenate(pieces, axis=0)

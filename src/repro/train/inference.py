@@ -1,0 +1,194 @@
+"""Inference paths: mini-batch sampled inference vs layer-wise full inference.
+
+Section 5 argues for running inference with neighborhood sampling — the
+same code path as training — instead of the conventional layer-wise
+full-neighborhood computation. Both are implemented here so Table 6 and
+Figure 3 can compare them:
+
+- :func:`sampled_inference` — mini-batch inference through a sampler; this
+  is *one-shot* sampling (no averaging), exactly the regime the paper
+  studies.
+- :func:`layerwise_full_inference` — evaluates the network layer by layer
+  over full neighborhoods, materializing every layer's representations for
+  all nodes in host memory. Also reports that memory footprint, the cost
+  the paper's Section 5 highlights (dense architectures like SAGE-RI must
+  keep *all* layers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..models.architectures import GAT, GIN, MLP, SAGERI, GraphSAGE, _SampledGNN
+from ..nn.module import Module
+from ..sampling.base import BatchIterator, NeighborSamplerBase
+from ..sampling.fast_sampler import FastNeighborSampler
+from ..tensor import Tensor, functional as F, no_grad
+
+__all__ = ["sampled_inference", "layerwise_full_inference", "LayerwiseResult"]
+
+
+def sampled_inference(
+    model: Module,
+    features: np.ndarray,
+    graph: CSRGraph,
+    nodes: np.ndarray,
+    fanouts: Sequence[Optional[int]],
+    batch_size: int = 1024,
+    seed: int = 0,
+    sampler: Optional[NeighborSamplerBase] = None,
+) -> np.ndarray:
+    """Predict log-probabilities for ``nodes`` with one-shot sampling.
+
+    Reuses the training code path (model.forward over sampled MFGs), the
+    simplification benefit Section 5 emphasizes.
+    """
+    model.eval()
+    sampler = sampler or FastNeighborSampler(graph, list(fanouts))
+    nodes = np.asarray(nodes, dtype=np.int64)
+    out: Optional[np.ndarray] = None
+    cursor = 0
+    with no_grad():
+        for batch in BatchIterator(nodes, batch_size, shuffle=False):
+            rng = np.random.default_rng(np.random.SeedSequence([seed, cursor]))
+            mfg = sampler.sample(batch, rng)
+            x = Tensor(features[mfg.n_id].astype(np.float32))
+            log_probs = model(x, mfg.adjs).data
+            if out is None:
+                out = np.empty((len(nodes), log_probs.shape[1]), dtype=np.float32)
+            out[cursor : cursor + len(batch)] = log_probs
+            cursor += len(batch)
+    assert out is not None and cursor == len(nodes)
+    return out
+
+
+@dataclass
+class LayerwiseResult:
+    """Full-neighborhood inference output plus its memory footprint."""
+
+    log_probs: np.ndarray  # (N, C) for all nodes
+    peak_host_bytes: int  # bytes of simultaneously live layer activations
+
+    def select(self, nodes: np.ndarray) -> np.ndarray:
+        return self.log_probs[np.asarray(nodes, dtype=np.int64)]
+
+
+def _propagate_full(
+    apply_layer,
+    h_in: np.ndarray,
+    graph: CSRGraph,
+    batch_size: int,
+) -> np.ndarray:
+    """Apply one conv over full neighborhoods for every node, batched.
+
+    The single-hop full-fanout sampler produces exact (unsampled) bipartite
+    blocks, so this is the conventional layer-wise inference kernel.
+    """
+    sampler = FastNeighborSampler(graph, [None])
+    rng = np.random.default_rng(0)  # unused: full fanout draws nothing
+    h_out: Optional[np.ndarray] = None
+    for batch in BatchIterator(
+        np.arange(graph.num_nodes), batch_size, shuffle=False
+    ):
+        mfg = sampler.sample(batch, rng)
+        adj = mfg.adjs[0]
+        x_src = Tensor(h_in[mfg.n_id].astype(np.float32))
+        x_dst = x_src[: adj.size[1]]
+        out = apply_layer((x_src, x_dst), adj.edge_index).data
+        if h_out is None:
+            h_out = np.empty((graph.num_nodes, out.shape[1]), dtype=np.float32)
+        h_out[batch] = out
+    assert h_out is not None
+    return h_out
+
+
+def layerwise_full_inference(
+    model: Module,
+    features: np.ndarray,
+    graph: CSRGraph,
+    batch_size: int = 4096,
+) -> LayerwiseResult:
+    """Full-neighborhood, layer-by-layer inference for every node.
+
+    Dispatches on architecture: plain stacks (SAGE, GAT) keep two live
+    layer buffers; GIN adds its prediction head; SAGE-RI's dense
+    (Inception) connections force *all* layer outputs to stay resident,
+    multiplying host memory — the trade-off Section 5 calls out.
+    """
+    model.eval()
+    with no_grad():
+        if isinstance(model, (GraphSAGE, GAT)):
+            return _layerwise_stack(model, features, graph, batch_size)
+        if isinstance(model, GIN):
+            return _layerwise_gin(model, features, graph, batch_size)
+        if isinstance(model, SAGERI):
+            return _layerwise_sage_ri(model, features, graph, batch_size)
+        if isinstance(model, MLP):
+            x = Tensor(features.astype(np.float32))
+            log_probs = model(x, []).data
+            return LayerwiseResult(log_probs, peak_host_bytes=log_probs.nbytes)
+    raise TypeError(f"layerwise inference not implemented for {type(model).__name__}")
+
+
+def _layerwise_stack(
+    model: _SampledGNN, features: np.ndarray, graph: CSRGraph, batch_size: int
+) -> LayerwiseResult:
+    h = features
+    peak = 0
+    for i in range(model.num_layers):
+        last = i == model.num_layers - 1
+
+        def apply_layer(x_pair, edge_index, _conv=model.convs[i], _last=last):
+            out = _conv(x_pair, edge_index)
+            return out if _last else F.relu(out)
+
+        h_next = _propagate_full(apply_layer, h, graph, batch_size)
+        peak = max(peak, h.nbytes + h_next.nbytes)
+        h = h_next
+    log_probs = F.log_softmax(Tensor(h), axis=-1).data
+    return LayerwiseResult(log_probs, peak_host_bytes=peak)
+
+
+def _layerwise_gin(
+    model: GIN, features: np.ndarray, graph: CSRGraph, batch_size: int
+) -> LayerwiseResult:
+    h = features
+    peak = 0
+    for i in range(model.num_layers):
+        def apply_layer(x_pair, edge_index, _conv=model.convs[i]):
+            return _conv(x_pair, edge_index)
+
+        h_next = _propagate_full(apply_layer, h, graph, batch_size)
+        peak = max(peak, h.nbytes + h_next.nbytes)
+        h = h_next
+    x = model.lin2(model.lin1(Tensor(h)).relu())
+    log_probs = F.log_softmax(x, axis=-1).data
+    return LayerwiseResult(log_probs, peak_host_bytes=peak)
+
+
+def _layerwise_sage_ri(
+    model: SAGERI, features: np.ndarray, graph: CSRGraph, batch_size: int
+) -> LayerwiseResult:
+    x = features.astype(np.float32)
+    collect: list[np.ndarray] = [x]  # dense connections: all layers stay live
+    h = x
+    for i in range(model.num_layers):
+        def apply_layer(x_pair, edge_index, _i=i):
+            out = model.convs[_i](x_pair, edge_index)
+            out = model.bns[_i](out)
+            return F.leaky_relu(out)
+
+        h_next = _propagate_full(apply_layer, h, graph, batch_size)
+        collect.append(h_next)
+        # Residual: x_{i+1} = h_i + res(x_i); in full inference the target
+        # set is every node, so the residual applies row-wise globally.
+        res = model.res_linears[i](Tensor(h)).data
+        h = h_next + res
+    peak = sum(arr.nbytes for arr in collect) + h.nbytes
+    concat = np.concatenate(collect, axis=1)
+    log_probs = F.log_softmax(model.mlp(Tensor(concat)), axis=-1).data
+    return LayerwiseResult(log_probs, peak_host_bytes=peak)

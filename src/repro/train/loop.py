@@ -1,0 +1,272 @@
+"""End-to-end training driver wiring datasets, samplers, executors, models.
+
+``Trainer`` is the single-GPU workflow of Listing 1 / Figure 1 with either
+executor backend; ``repro.train.ddp`` scales it to multiple simulated GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.synthetic import Dataset
+from ..models.architectures import build_model
+from ..nn.module import Module
+from ..nn.optim import Adam, Optimizer
+from ..runtime.device import Device, DeviceBatch
+from ..runtime.pipeline import EpochStats, PipelinedExecutor, SerialExecutor
+from ..runtime.trace import Tracer
+from ..sampling.base import BatchIterator, NeighborSamplerBase
+from ..sampling.fast_sampler import FastNeighborSampler
+from ..sampling.pyg_sampler import PyGNeighborSampler
+from ..slicing.store import FeatureStore
+from ..tensor import Tensor, functional as F
+from .config import ExperimentConfig
+from .inference import sampled_inference
+from .metrics import accuracy
+
+__all__ = ["Trainer", "TrainResult"]
+
+
+@dataclass
+class TrainResult:
+    """History of one training run."""
+
+    epoch_stats: list[EpochStats] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return sum(s.epoch_time for s in self.epoch_stats)
+
+    def final_loss(self) -> float:
+        losses = self.epoch_stats[-1].losses if self.epoch_stats else []
+        return float(np.mean(losses)) if losses else float("nan")
+
+
+class Trainer:
+    """Mini-batch GNN training with neighborhood sampling.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`repro.datasets.Dataset`.
+    config:
+        Hyperparameters (Table 5 row).
+    executor:
+        ``"serial"`` — the baseline PyG workflow; ``"pipelined"`` — SALIENT.
+    sampler:
+        ``"fast"`` (SALIENT's sampler) or ``"pyg"`` (the reference one).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: ExperimentConfig,
+        executor: str = "pipelined",
+        sampler: str = "fast",
+        device: Optional[Device] = None,
+        num_workers: int = 2,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if executor not in ("serial", "pipelined"):
+            raise ValueError(f"unknown executor {executor!r}")
+        if sampler not in ("fast", "pyg"):
+            raise ValueError(f"unknown sampler {sampler!r}")
+        self.dataset = dataset
+        self.config = config
+        self.seed = seed
+        self.device = device or Device()
+        self.tracer = tracer or Tracer(enabled=False)
+        self.store = FeatureStore(dataset.features, dataset.labels)
+
+        model_rng = np.random.default_rng(np.random.SeedSequence([seed, 101]))
+        self.model: Module = build_model(
+            config.model,
+            dataset.num_features,
+            config.hidden_channels,
+            dataset.num_classes,
+            num_layers=config.num_layers,
+            rng=model_rng,
+        )
+        self.optimizer: Optimizer = Adam(
+            self.model.parameters(), lr=config.lr, weight_decay=config.weight_decay
+        )
+
+        sampler_cls = FastNeighborSampler if sampler == "fast" else PyGNeighborSampler
+        fanouts = list(config.train_fanouts)
+        self._sampler_factory = lambda: sampler_cls(dataset.graph, fanouts)
+
+        if executor == "serial":
+            self._executor = SerialExecutor(
+                sampler=self._sampler_factory(),
+                store=self.store,
+                device=self.device,
+                tracer=self.tracer,
+                seed=seed,
+            )
+        else:
+            self._executor = PipelinedExecutor(
+                sampler_factory=self._sampler_factory,
+                store=self.store,
+                device=self.device,
+                num_workers=num_workers,
+                max_batch_hint=config.batch_size,
+                tracer=self.tracer,
+                seed=seed,
+            )
+
+    # ------------------------------------------------------------------
+    def _train_fn(self) -> Callable[[DeviceBatch], float]:
+        model, optimizer = self.model, self.optimizer
+
+        def step(batch: DeviceBatch) -> float:
+            model.train()
+            optimizer.zero_grad()
+            x = Tensor(batch.xs.data)
+            out = model(x, batch.mfg.adjs)
+            loss = F.nll_loss(out, batch.ys.data)
+            loss.backward()
+            optimizer.step()
+            return loss.item()
+
+        return step
+
+    def epoch_batches(self, epoch: int) -> list[np.ndarray]:
+        """Shuffled train-set mini-batches for one epoch (deterministic)."""
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, 7, epoch]))
+        return list(
+            BatchIterator(
+                self.dataset.split.train,
+                self.config.batch_size,
+                shuffle=True,
+                rng=rng,
+            )
+        )
+
+    def train_epoch(self, epoch: int = 0) -> EpochStats:
+        return self._executor.run_epoch(self.epoch_batches(epoch), self._train_fn())
+
+    def predict(
+        self,
+        nodes: np.ndarray,
+        fanouts: Optional[Sequence[Optional[int]]] = None,
+        seed: int = 1234,
+    ) -> np.ndarray:
+        """Sampled-inference log-probabilities for ``nodes``."""
+        fanouts = list(fanouts) if fanouts is not None else list(self.config.infer_fanouts)
+        return sampled_inference(
+            self.model,
+            self.store.features,
+            self.dataset.graph,
+            nodes,
+            fanouts,
+            batch_size=self.config.batch_size,
+            seed=seed,
+        )
+
+    def evaluate(
+        self,
+        split: str = "val",
+        fanouts: Optional[Sequence[Optional[int]]] = None,
+        seed: int = 1234,
+    ) -> float:
+        nodes = getattr(self.dataset.split, split)
+        log_probs = self.predict(nodes, fanouts=fanouts, seed=seed)
+        return accuracy(log_probs, self.dataset.labels[nodes])
+
+    def fit(
+        self,
+        epochs: Optional[int] = None,
+        evaluate_every: int = 0,
+        early_stopping_patience: int = 0,
+    ) -> TrainResult:
+        """Train for up to ``epochs`` epochs.
+
+        Parameters
+        ----------
+        evaluate_every:
+            Evaluate validation accuracy every N epochs (0 disables).
+        early_stopping_patience:
+            Stop once validation accuracy has not improved for this many
+            consecutive evaluations (requires ``evaluate_every > 0``); the
+            best-performing parameters are restored before returning.
+        """
+        if early_stopping_patience and not evaluate_every:
+            raise ValueError("early stopping requires evaluate_every > 0")
+        epochs = epochs if epochs is not None else self.config.epochs
+        result = TrainResult()
+        best_accuracy = -1.0
+        best_state: Optional[dict] = None
+        stale = 0
+        for epoch in range(epochs):
+            result.epoch_stats.append(self.train_epoch(epoch))
+            if evaluate_every and (epoch + 1) % evaluate_every == 0:
+                acc = self.evaluate("val")
+                result.val_accuracy.append(acc)
+                if early_stopping_patience:
+                    if acc > best_accuracy:
+                        best_accuracy = acc
+                        best_state = self.model.state_dict()
+                        stale = 0
+                    else:
+                        stale += 1
+                        if stale >= early_stopping_patience:
+                            break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return result
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path) -> None:
+        """Persist model parameters/buffers and optimizer state to ``path``.
+
+        Stored as a compressed ``.npz``; keys are the model's dotted state
+        names plus ``__optimizer__/...`` entries.
+        """
+        payload: dict = {f"model/{k}": v for k, v in self.model.state_dict().items()}
+        opt_state = self.optimizer.state_dict()
+        payload["optimizer/lr"] = np.asarray(opt_state["lr"])
+        if "step" in opt_state:  # Adam
+            payload["optimizer/step"] = np.asarray(opt_state["step"])
+            for i, (m, v) in enumerate(zip(opt_state["m"], opt_state["v"])):
+                if m is not None:
+                    payload[f"optimizer/m/{i}"] = m
+                    payload[f"optimizer/v/{i}"] = v
+        np.savez_compressed(path, **payload)
+
+    def load_checkpoint(self, path) -> None:
+        """Restore model and optimizer state saved by :meth:`save_checkpoint`."""
+        archive = np.load(path)
+        model_state = {
+            key[len("model/") :]: archive[key]
+            for key in archive.files
+            if key.startswith("model/")
+        }
+        self.model.load_state_dict(model_state)
+        if "optimizer/step" in archive.files:
+            n_params = len(self.optimizer.params)
+            m = [None] * n_params
+            v = [None] * n_params
+            for i in range(n_params):
+                if f"optimizer/m/{i}" in archive.files:
+                    m[i] = archive[f"optimizer/m/{i}"]
+                    v[i] = archive[f"optimizer/v/{i}"]
+            self.optimizer.load_state_dict(
+                {
+                    "lr": float(archive["optimizer/lr"]),
+                    "step": int(archive["optimizer/step"]),
+                    "m": m,
+                    "v": v,
+                }
+            )
+        else:
+            self.optimizer.load_state_dict({"lr": float(archive["optimizer/lr"])})
+
+    def shutdown(self) -> None:
+        self.device.shutdown()

@@ -1,0 +1,58 @@
+"""Split construction and validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import Split, make_split
+
+
+class TestMakeSplit:
+    def test_sizes_match_fractions(self):
+        s = make_split(1000, 0.5, 0.2, 0.3, rng=np.random.default_rng(0))
+        assert s.sizes() == (500, 200, 300)
+
+    def test_disjoint(self):
+        s = make_split(500, 0.4, 0.3, 0.3, rng=np.random.default_rng(1))
+        s.validate(500)
+
+    def test_partial_labeling_allowed(self):
+        s = make_split(1000, 0.05, 0.01, 0.02, rng=np.random.default_rng(2))
+        assert sum(s.sizes()) == 80
+
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ValueError):
+            make_split(100, 0.6, 0.3, 0.3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(10, 500),
+        st.floats(0.0, 0.5),
+        st.floats(0.0, 0.3),
+        st.floats(0.0, 0.2),
+    )
+    def test_always_valid(self, n, a, b, c):
+        s = make_split(n, a, b, c, rng=np.random.default_rng(3))
+        s.validate(n)
+
+
+class TestSplitValidation:
+    def test_detects_overlap(self):
+        s = Split(train=np.array([0, 1]), val=np.array([1]), test=np.array([2]))
+        with pytest.raises(ValueError, match="overlap"):
+            s.validate(5)
+
+    def test_detects_duplicates(self):
+        s = Split(train=np.array([0, 0]), val=np.array([1]), test=np.array([2]))
+        with pytest.raises(ValueError, match="duplicates"):
+            s.validate(5)
+
+    def test_detects_out_of_range(self):
+        s = Split(train=np.array([0]), val=np.array([9]), test=np.array([2]))
+        with pytest.raises(ValueError, match="out-of-range"):
+            s.validate(5)
+
+    def test_repr(self):
+        s = Split(train=np.array([0]), val=np.array([1]), test=np.array([2]))
+        assert "train=1" in repr(s)

@@ -1,0 +1,118 @@
+"""Synthetic datasets: spec fidelity, determinism, structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SPECS,
+    available_datasets,
+    clear_cache,
+    dataset_table,
+    generate_dataset,
+    get_dataset,
+)
+
+
+class TestSpecs:
+    def test_three_datasets_registered(self):
+        assert available_datasets() == ["arxiv", "papers", "products"]
+
+    def test_feature_widths_match_paper(self):
+        assert SPECS["arxiv"].num_features == 128
+        assert SPECS["products"].num_features == 100
+        assert SPECS["papers"].num_features == 128
+
+    def test_node_count_ordering_matches_paper(self):
+        assert (
+            SPECS["arxiv"].num_nodes
+            < SPECS["products"].num_nodes
+            < SPECS["papers"].num_nodes
+        )
+
+    def test_products_is_densest(self):
+        assert SPECS["products"].avg_degree == max(
+            s.avg_degree for s in SPECS.values()
+        )
+
+    def test_papers_mostly_unlabeled(self):
+        s = SPECS["papers"]
+        assert s.train_frac + s.val_frac + s.test_frac < 0.15
+
+    def test_products_test_heavy(self):
+        s = SPECS["products"]
+        assert s.test_frac > 5 * s.train_frac
+
+
+class TestGeneration:
+    def test_validates(self, tiny_dataset):
+        tiny_dataset.validate()
+
+    def test_features_are_float16(self, tiny_dataset):
+        assert tiny_dataset.features.dtype == np.float16
+
+    def test_unlabeled_nodes_marked(self):
+        ds = generate_dataset("papers", scale=0.2, seed=0)
+        assert (ds.labels == -1).sum() > 0.8 * ds.num_nodes
+
+    def test_labeled_split_has_labels(self, tiny_dataset):
+        for part in (tiny_dataset.split.train, tiny_dataset.split.val, tiny_dataset.split.test):
+            assert (tiny_dataset.labels[part] >= 0).all()
+
+    def test_labels_match_communities_where_labeled(self, tiny_dataset):
+        labeled = tiny_dataset.labels >= 0
+        np.testing.assert_array_equal(
+            tiny_dataset.labels[labeled], tiny_dataset.communities[labeled]
+        )
+
+    def test_deterministic(self):
+        a = generate_dataset("arxiv", scale=0.1, seed=42)
+        b = generate_dataset("arxiv", scale=0.1, seed=42)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.graph.indices, b.graph.indices)
+        np.testing.assert_array_equal(a.split.train, b.split.train)
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset("arxiv", scale=0.1, seed=0)
+        b = generate_dataset("arxiv", scale=0.1, seed=1)
+        assert not np.array_equal(a.graph.indices, b.graph.indices)
+
+    def test_scale_shrinks(self):
+        small = generate_dataset("arxiv", scale=0.1, seed=0)
+        assert small.num_nodes == int(SPECS["arxiv"].num_nodes * 0.1)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            generate_dataset("reddit")
+
+    def test_summary_row_fields(self, tiny_dataset):
+        row = tiny_dataset.summary_row()
+        assert row["dataset"] == "arxiv"
+        assert row["features"] == 128
+        assert row["paper_nodes"] == "169K"
+
+    def test_feature_signal_is_weak_but_present(self, tiny_dataset):
+        # class centroids should be recoverable from class-mean features
+        feats = tiny_dataset.features.astype(np.float32)
+        comm = tiny_dataset.communities
+        means = np.stack([feats[comm == c].mean(axis=0) for c in range(12)])
+        # mean feature separation between classes exceeds within-class sem
+        spread = np.linalg.norm(means - means.mean(axis=0), axis=1).mean()
+        assert spread > 0.3
+
+
+class TestRegistry:
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        a = get_dataset("arxiv", scale=0.1)
+        b = get_dataset("arxiv", scale=0.1)
+        assert a is b
+
+    def test_cache_distinguishes_params(self):
+        clear_cache()
+        a = get_dataset("arxiv", scale=0.1, seed=0)
+        b = get_dataset("arxiv", scale=0.1, seed=1)
+        assert a is not b
+
+    def test_dataset_table_has_all_rows(self):
+        rows = dataset_table(scale=0.1)
+        assert [r["dataset"] for r in rows] == ["arxiv", "papers", "products"]

@@ -1,0 +1,89 @@
+"""COO->CSR builders: coalescing, symmetrization, self-loops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    add_self_loops,
+    coalesce_edge_index,
+    from_edge_index,
+    remove_self_loops,
+    to_undirected_edge_index,
+)
+
+
+class TestCoalesce:
+    def test_removes_duplicates(self):
+        ei = np.array([[0, 0, 1], [1, 1, 0]])
+        out = coalesce_edge_index(ei, 2)
+        assert out.shape == (2, 2)
+
+    def test_sorted_by_src_then_dst(self):
+        ei = np.array([[1, 0, 1], [0, 1, 2]])
+        out = coalesce_edge_index(ei, 3)
+        keys = out[0] * 3 + out[1]
+        assert (np.diff(keys) > 0).all()
+
+    def test_empty(self):
+        out = coalesce_edge_index(np.empty((2, 0), dtype=np.int64), 3)
+        assert out.shape == (2, 0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            coalesce_edge_index(np.zeros((3, 4), dtype=np.int64), 5)
+
+
+class TestSelfLoops:
+    def test_remove(self):
+        ei = np.array([[0, 1, 2], [0, 2, 2]])
+        out = remove_self_loops(ei)
+        np.testing.assert_array_equal(out, [[1], [2]])
+
+    def test_add(self):
+        ei = np.array([[0], [1]])
+        out = add_self_loops(ei, 3)
+        assert out.shape == (2, 4)
+        loops = out[:, 1:]
+        np.testing.assert_array_equal(loops[0], loops[1])
+
+
+class TestUndirected:
+    def test_reverse_edges_added(self):
+        ei = np.array([[0], [1]])
+        out = to_undirected_edge_index(ei, 2)
+        assert out.shape == (2, 2)
+        g = from_edge_index(out, 2, coalesce=False)
+        assert g.is_undirected()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(2, 10),
+        st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30),
+    )
+    def test_always_symmetric(self, n, pairs):
+        pairs = [(a % n, b % n) for a, b in pairs]
+        if not pairs:
+            pairs = [(0, 1)]
+        ei = np.array(pairs).T
+        g = from_edge_index(ei, n, undirected=True)
+        assert g.is_undirected()
+
+
+class TestFromEdgeIndex:
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            from_edge_index(np.array([[0], [7]]), 3)
+
+    def test_adjacency_matches_input(self):
+        ei = np.array([[0, 0, 2], [1, 2, 0]])
+        g = from_edge_index(ei, 3)
+        assert set(g.neighbors(0)) == {1, 2}
+        assert set(g.neighbors(2)) == {0}
+        assert g.degree(1) == 0
+
+    def test_coalesce_flag(self):
+        ei = np.array([[0, 0], [1, 1]])
+        assert from_edge_index(ei, 2, coalesce=True).num_edges == 1
+        assert from_edge_index(ei, 2, coalesce=False).num_edges == 2

@@ -1,0 +1,88 @@
+"""Distributed-sampling communication model (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    bfs_partition,
+    partition_quality_report,
+    random_partition,
+    sampling_communication,
+)
+
+
+@pytest.fixture(scope="module")
+def parts(small_products):
+    rng = np.random.default_rng(0)
+    return {
+        "random": random_partition(small_products.graph, 4, rng=rng),
+        "bfs": bfs_partition(small_products.graph, 4, rng=rng),
+    }
+
+
+class TestSamplingCommunication:
+    def test_counts_are_consistent(self, small_products, parts):
+        stats = sampling_communication(
+            small_products.graph,
+            parts["bfs"],
+            small_products.split.train,
+            [5, 3],
+            batch_size=32,
+            feature_bytes_per_node=256,
+            max_batches=4,
+        )
+        assert stats.num_batches == 4
+        assert 0 <= stats.remote_feature_fetches <= stats.total_sampled_nodes
+        assert 0 <= stats.remote_adjacency_lookups <= stats.total_sampled_edges
+        assert 0.0 <= stats.remote_node_fraction <= 1.0
+        assert stats.comm_bytes_per_epoch() == stats.remote_feature_fetches * 256
+
+    def test_locality_partition_reduces_communication(self, small_products, parts):
+        """The Section 8 motivation: a locality-aware partition cuts the
+        remote traffic of multi-hop sampling vs a random one."""
+        kwargs = dict(
+            train_nodes=small_products.split.train,
+            fanouts=[5, 3],
+            batch_size=32,
+            max_batches=6,
+        )
+        random_stats = sampling_communication(
+            small_products.graph, parts["random"], rng=np.random.default_rng(1), **kwargs
+        )
+        bfs_stats = sampling_communication(
+            small_products.graph, parts["bfs"], rng=np.random.default_rng(1), **kwargs
+        )
+        assert bfs_stats.remote_node_fraction < random_stats.remote_node_fraction
+
+    def test_single_part_has_no_communication(self, small_products):
+        from repro.graph.partition import Partition
+
+        part = Partition(
+            assignment=np.zeros(small_products.num_nodes, dtype=np.int64),
+            num_parts=1,
+        )
+        stats = sampling_communication(
+            small_products.graph,
+            part,
+            small_products.split.train,
+            [5],
+            batch_size=32,
+            max_batches=2,
+        )
+        assert stats.remote_feature_fetches == 0
+        assert stats.remote_adjacency_lookups == 0
+
+    def test_report_rows(self, small_products, parts):
+        rows = partition_quality_report(
+            small_products.graph,
+            parts,
+            small_products.split.train,
+            [5, 3],
+            batch_size=32,
+            feature_bytes_per_node=200,
+            max_batches=3,
+        )
+        assert {r["partition"] for r in rows} == {"random", "bfs"}
+        for row in rows:
+            assert row["edge_cut"] >= 0
+            assert row["comm_MB_per_epoch"] >= 0

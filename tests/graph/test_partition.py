@@ -1,0 +1,72 @@
+"""Partitioner: balance and edge-cut quality."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    bfs_partition,
+    edge_cut,
+    grid_graph,
+    random_partition,
+)
+
+
+class TestRandomPartition:
+    def test_balanced(self, community_graph):
+        p = random_partition(community_graph.graph, 4, rng=np.random.default_rng(0))
+        assert p.imbalance() < 1.05
+        assert set(np.unique(p.assignment)) == {0, 1, 2, 3}
+
+
+class TestBFSPartition:
+    def test_all_nodes_assigned(self, community_graph):
+        p = bfs_partition(community_graph.graph, 4, rng=np.random.default_rng(0))
+        assert (p.assignment >= 0).all()
+        assert (p.assignment < 4).all()
+
+    def test_roughly_balanced(self, community_graph):
+        p = bfs_partition(community_graph.graph, 4, rng=np.random.default_rng(0))
+        assert p.imbalance() < 1.35
+
+    def test_cut_beats_random(self, community_graph):
+        g = community_graph.graph
+        rng = np.random.default_rng(0)
+        bfs_cut = edge_cut(g, bfs_partition(g, 4, rng=rng).assignment)
+        rand_cut = edge_cut(g, random_partition(g, 4, rng=rng).assignment)
+        assert bfs_cut < rand_cut
+
+    def test_grid_partition_is_spatially_coherent(self):
+        g = grid_graph(10, 10)
+        p = bfs_partition(g, 2, rng=np.random.default_rng(1))
+        cut = edge_cut(g, p.assignment)
+        # a clean bisection of a 10x10 grid cuts ~10-30 edges; random ~90
+        assert cut < 60
+
+    def test_single_part(self):
+        g = grid_graph(4, 4)
+        p = bfs_partition(g, 1, rng=np.random.default_rng(0))
+        assert (p.assignment == 0).all()
+        assert edge_cut(g, p.assignment) == 0
+
+    def test_invalid_num_parts(self):
+        with pytest.raises(ValueError):
+            bfs_partition(grid_graph(2, 2), 0)
+
+    def test_handles_disconnected_graph(self):
+        # two disjoint chains via a block-diagonal edge set
+        from repro.graph import from_edge_index
+
+        ei = np.array([[0, 1, 3, 4], [1, 2, 4, 5]])
+        g = from_edge_index(ei, 6, undirected=True)
+        p = bfs_partition(g, 2, rng=np.random.default_rng(2))
+        assert (p.assignment >= 0).all()
+
+
+class TestEdgeCut:
+    def test_zero_for_single_part(self, community_graph):
+        g = community_graph.graph
+        assert edge_cut(g, np.zeros(g.num_nodes, dtype=np.int64)) == 0
+
+    def test_counts_undirected_edges_once(self):
+        g = grid_graph(1, 2)  # single undirected edge
+        assert edge_cut(g, np.array([0, 1])) == 1

@@ -1,0 +1,52 @@
+"""Test utilities: numerical gradient checking against the autograd tape."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[], float], array: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Central-difference gradient of ``fn`` w.r.t. ``array`` (in place)."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = array[idx]
+        array[idx] = original + eps
+        f_plus = fn()
+        array[idx] = original - eps
+        f_minus = fn()
+        array[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(
+    build_loss: Callable[[Tensor], Tensor],
+    shape: tuple,
+    rng: np.random.Generator,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert autograd gradient of ``build_loss`` matches finite differences.
+
+    ``build_loss`` receives a float64 leaf tensor and must return a scalar
+    loss built exclusively from tape-recorded ops.
+    """
+    data = rng.normal(size=shape).astype(np.float64)
+    leaf = Tensor(data, requires_grad=True)
+    loss = build_loss(leaf)
+    if loss.size != 1:
+        raise AssertionError("build_loss must return a scalar")
+    loss.backward()
+    assert leaf.grad is not None, "no gradient flowed to the leaf"
+
+    numeric = numerical_gradient(lambda: float(build_loss(Tensor(data)).data), data)
+    np.testing.assert_allclose(leaf.grad, numeric, atol=atol, rtol=rtol)

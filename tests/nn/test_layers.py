@@ -1,0 +1,116 @@
+"""Leaf layers: Linear and BatchNorm1d semantics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+from ..helpers import check_gradient
+
+
+class TestLinear:
+    def test_shapes_and_bias(self, rng):
+        lin = nn.Linear(4, 3, rng=rng)
+        out = lin(Tensor(np.ones((2, 4), dtype=np.float32)))
+        assert out.shape == (2, 3)
+        assert lin.bias is not None
+
+    def test_no_bias(self, rng):
+        lin = nn.Linear(4, 3, bias=False, rng=rng)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_matches_manual_affine(self, rng):
+        lin = nn.Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            lin(Tensor(x)).data, x @ lin.weight.data.T + lin.bias.data, rtol=1e-5
+        )
+
+    def test_gradients_flow(self, rng):
+        lin = nn.Linear(3, 2, rng=rng)
+        lin(Tensor(np.ones((4, 3), dtype=np.float32))).sum().backward()
+        assert lin.weight.grad is not None and lin.bias.grad is not None
+        np.testing.assert_allclose(lin.bias.grad, [4.0, 4.0])
+
+    def test_reset_parameters_changes_weights(self, rng):
+        lin = nn.Linear(8, 8, rng=rng)
+        before = lin.weight.data.copy()
+        lin.reset_parameters()
+        assert not np.allclose(before, lin.weight.data)
+
+    def test_init_scale_is_bounded(self, rng):
+        lin = nn.Linear(100, 50, rng=rng)
+        bound = np.sqrt(2.0 / (1 + 5)) * np.sqrt(3.0 / 100)
+        assert np.abs(lin.weight.data).max() <= bound + 1e-6
+
+
+class TestBatchNorm:
+    def test_normalizes_batch_in_train_mode(self, rng):
+        bn = nn.BatchNorm1d(4)
+        x = Tensor(rng.normal(loc=5.0, scale=3.0, size=(64, 4)).astype(np.float32))
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_converge(self, rng):
+        bn = nn.BatchNorm1d(2)
+        for _ in range(200):
+            x = Tensor(rng.normal(loc=3.0, scale=2.0, size=(32, 2)).astype(np.float32))
+            bn(x)
+        np.testing.assert_allclose(bn.running_mean, 3.0, atol=0.3)
+        np.testing.assert_allclose(bn.running_var, 4.0, atol=0.8)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm1d(2)
+        bn.running_mean[...] = [1.0, 2.0]
+        bn.running_var[...] = [4.0, 9.0]
+        bn.eval()
+        x = np.array([[3.0, 5.0]], dtype=np.float32)
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out, [[1.0, 1.0]], atol=1e-3)
+
+    def test_gradient_through_batch_statistics(self, rng):
+        bn = nn.BatchNorm1d(3)
+
+        def build(x):
+            return (bn(x) * Tensor(np.arange(3.0))).sum()
+
+        check_gradient(build, (8, 3), rng, atol=1e-4, rtol=1e-3)
+
+    def test_shape_validation(self):
+        bn = nn.BatchNorm1d(3)
+        with pytest.raises(ValueError):
+            bn(Tensor(np.zeros((2, 4))))
+
+    def test_affine_parameters_trainable(self, rng):
+        bn = nn.BatchNorm1d(2)
+        bn(Tensor(rng.normal(size=(8, 2)).astype(np.float32))).sum().backward()
+        assert bn.weight.grad is not None and bn.bias.grad is not None
+
+    def test_reset_parameters(self):
+        bn = nn.BatchNorm1d(2)
+        bn.running_mean[...] = 5.0
+        bn.weight.data[...] = 3.0
+        bn.reset_parameters()
+        np.testing.assert_allclose(bn.running_mean, 0.0)
+        np.testing.assert_allclose(bn.weight.data, 1.0)
+
+
+class TestActivationsAndDropout:
+    def test_relu_module(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_leaky_relu_module(self):
+        out = nn.LeakyReLU(0.5)(Tensor(np.array([-2.0, 2.0])))
+        np.testing.assert_allclose(out.data, [-1.0, 2.0])
+
+    def test_dropout_module_respects_training_flag(self, rng):
+        drop = nn.Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((4, 4)))
+        drop.eval()
+        assert drop(x) is x
+        drop.train()
+        assert (drop(Tensor(np.ones((100, 100)))).data == 0).any()

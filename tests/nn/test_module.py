@@ -1,0 +1,122 @@
+"""Module system: registration, traversal, state management, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class Leaf(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Tensor(np.ones((2, 2)), requires_grad=True)
+        self.register_buffer("stat", np.zeros(2))
+
+    def forward(self, x):
+        return x @ self.weight
+
+
+class Nested(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Leaf()
+        self.outer_weight = Tensor(np.full((2,), 3.0), requires_grad=True)
+
+    def forward(self, x):
+        return self.inner(x) + self.outer_weight
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        m = Nested()
+        names = dict(m.named_parameters())
+        assert set(names) == {"outer_weight", "inner.weight"}
+        assert len(m.parameters()) == 2
+
+    def test_non_grad_tensor_not_registered(self):
+        m = Leaf()
+        m.plain = Tensor(np.zeros(2))  # requires_grad False
+        assert "plain" not in dict(m.named_parameters())
+
+    def test_buffers_found(self):
+        m = Nested()
+        assert set(dict(m.named_buffers())) == {"inner.stat"}
+
+    def test_modules_iterates_tree(self):
+        m = Nested()
+        assert len(list(m.modules())) == 2
+
+    def test_num_parameters(self):
+        assert Nested().num_parameters() == 4 + 2
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        m1, m2 = Nested(), Nested()
+        m1.inner.weight.data[...] = 7.0
+        m1.inner.stat[...] = 5.0
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_allclose(m2.inner.weight.data, 7.0)
+        np.testing.assert_allclose(m2.inner.stat, 5.0)
+
+    def test_state_dict_copies(self):
+        m = Nested()
+        state = m.state_dict()
+        state["inner.weight"][...] = 99.0
+        assert not np.allclose(m.inner.weight.data, 99.0)
+
+    def test_shape_mismatch_rejected(self):
+        m = Nested()
+        state = m.state_dict()
+        state["inner.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError, match="shape"):
+            m.load_state_dict(state)
+
+    def test_unknown_key_rejected(self):
+        m = Nested()
+        with pytest.raises(KeyError):
+            m.load_state_dict({"inner.nope": np.zeros(2)})
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        m = Nested()
+        m.eval()
+        assert not m.training and not m.inner.training
+        m.train()
+        assert m.training and m.inner.training
+
+    def test_zero_grad(self):
+        m = Nested()
+        out = m(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert m.inner.weight.grad is not None
+        m.zero_grad()
+        assert m.inner.weight.grad is None
+
+
+class TestContainers:
+    def test_module_list(self):
+        ml = nn.ModuleList([nn.Linear(2, 3), nn.Linear(3, 4)])
+        assert len(ml) == 2
+        assert ml[1].out_features == 4
+        assert len(list(iter(ml))) == 2
+        # parameters of children visible from a parent module
+        class Holder(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = ml
+
+        assert len(Holder().parameters()) == 4
+
+    def test_sequential_applies_in_order(self):
+        seq = nn.Sequential(nn.Linear(2, 3, bias=False), nn.ReLU())
+        x = Tensor(np.ones((1, 2), dtype=np.float32))
+        out = seq(x)
+        assert out.shape == (1, 3)
+        assert (out.data >= 0).all()
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert nn.Identity()(x) is x

@@ -1,0 +1,137 @@
+"""Optimizers: update rules, state handling, schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+def quadratic_param(value=5.0):
+    return Tensor(np.array([value], dtype=np.float64), requires_grad=True)
+
+
+class TestSGD:
+    def test_single_step_matches_rule(self):
+        p = quadratic_param()
+        p.grad = np.array([2.0])
+        nn.SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [4.8])
+
+    def test_momentum_accumulates(self):
+        p = quadratic_param(0.0)
+        opt = nn.SGD([p], lr=1.0, momentum=0.5)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.5, p=-2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_weight_decay(self):
+        p = quadratic_param(10.0)
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.1)
+        p.grad = np.array([0.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [10.0 - 0.1 * 1.0])
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        nn.SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [5.0])
+
+    def test_minimizes_quadratic(self):
+        p = quadratic_param(3.0)
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            ((p - 1.0) ** 2).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0], atol=1e-4)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        # with bias correction, the first Adam step ~= lr * sign(grad)
+        p = quadratic_param(0.0)
+        opt = nn.Adam([p], lr=0.01)
+        p.grad = np.array([123.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [-0.01], rtol=1e-5)
+
+    def test_matches_reference_implementation(self):
+        rng = np.random.default_rng(0)
+        p = Tensor(rng.normal(size=4), requires_grad=True)
+        ref = p.data.copy()
+        m = np.zeros(4)
+        v = np.zeros(4)
+        opt = nn.Adam([p], lr=0.05, betas=(0.9, 0.99), eps=1e-8)
+        for t in range(1, 6):
+            grad = rng.normal(size=4)
+            p.grad = grad.copy()
+            opt.step()
+            m = 0.9 * m + 0.1 * grad
+            v = 0.99 * v + 0.01 * grad * grad
+            m_hat = m / (1 - 0.9**t)
+            v_hat = v / (1 - 0.99**t)
+            ref -= 0.05 * m_hat / (np.sqrt(v_hat) + 1e-8)
+            p.grad = None
+        np.testing.assert_allclose(p.data, ref, rtol=1e-10)
+
+    def test_minimizes_quadratic(self):
+        p = quadratic_param(4.0)
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            ((p + 2.0) ** 2).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [-2.0], atol=1e-3)
+
+    def test_state_dict_roundtrip(self):
+        p = quadratic_param()
+        opt = nn.Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        state = opt.state_dict()
+
+        p2 = quadratic_param()
+        opt2 = nn.Adam([p2], lr=0.1)
+        opt2.load_state_dict(state)
+        assert opt2._step == 1
+        np.testing.assert_allclose(opt2._m[0], opt._m[0])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([quadratic_param()], lr=-1.0)
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_lr_endpoints(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.CosineLR(opt, t_max=10, min_lr=0.1)
+        for _ in range(10):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 0.1, atol=1e-9)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = nn.SGD([quadratic_param()], lr=1.0)
+        sched = nn.CosineLR(opt, t_max=8)
+        values = []
+        for _ in range(8):
+            sched.step()
+            values.append(opt.lr)
+        assert all(a > b for a, b in zip(values, values[1:]))

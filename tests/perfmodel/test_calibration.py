@@ -1,0 +1,103 @@
+"""Calibration: the simulated pipelines must reproduce Tables 1-3's shape.
+
+Tolerances are deliberately loose (the goal is the paper's *shape*:
+orderings, ratios, crossovers), but every headline quantity is pinned:
+
+- Table 1: baseline breakdown within 35% per cell; GPU-train fraction ~28%.
+- Table 2: PyG-vs-SALIENT sampler ratio ~2.5x; thread scaling sublinear.
+- Table 3: each added optimization strictly reduces epoch time.
+- Figure 4: single-GPU speedups land in the paper's ~2.4-3.5x band.
+"""
+
+import pytest
+
+from repro.perfmodel import (
+    ABLATION_STEPS,
+    CONFIG_PYG,
+    CONFIG_SALIENT,
+    SALIENT_SAMPLER_SPEEDUP,
+    TABLE1_REFERENCE,
+    TABLE3_REFERENCE,
+    simulate_epoch,
+)
+
+DATASETS = ["arxiv", "products", "papers"]
+
+
+def rel_err(sim: float, ref: float) -> float:
+    return abs(sim - ref) / ref
+
+
+class TestTable1:
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_baseline_breakdown_close(self, dataset):
+        b = simulate_epoch(dataset, CONFIG_PYG)
+        ref = TABLE1_REFERENCE[dataset]
+        assert rel_err(b.epoch_time, ref["epoch"]) < 0.35
+        assert rel_err(b.prep_blocking, ref["prep"]) < 0.35
+        assert rel_err(b.transfer_blocking, ref["transfer"]) < 0.35
+        assert rel_err(b.train_time, ref["train"]) < 0.15
+
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_gpu_is_minor_fraction_of_baseline(self, dataset):
+        """The paper's headline: only ~28% of baseline time is GPU training."""
+        b = simulate_epoch(dataset, CONFIG_PYG)
+        assert 0.15 < b.fractions()["train"] < 0.45
+
+    def test_prep_dominates_arxiv_products(self):
+        for dataset in ("arxiv", "products"):
+            b = simulate_epoch(dataset, CONFIG_PYG)
+            fractions = b.fractions()
+            assert fractions["prep"] > fractions["train"]
+
+
+class TestTable2Shape:
+    def test_sampler_speedup_constant_matches_table2(self):
+        assert SALIENT_SAMPLER_SPEEDUP == pytest.approx(71.1 / 28.3)
+
+    def test_more_workers_faster_prep(self):
+        from dataclasses import replace
+
+        times = []
+        for workers in (1, 10, 20):
+            cfg = replace(CONFIG_SALIENT, num_workers=workers)
+            times.append(simulate_epoch("products", cfg).prep_wall)
+        assert times[0] > times[1] > times[2]
+
+    def test_thread_scaling_sublinear(self):
+        from dataclasses import replace
+
+        t1 = simulate_epoch(
+            "products", replace(CONFIG_SALIENT, num_workers=1)
+        ).prep_wall
+        t20 = simulate_epoch(
+            "products", replace(CONFIG_SALIENT, num_workers=20)
+        ).prep_wall
+        assert 5.0 < t1 / t20 < 20.0  # real speedup, below perfect
+
+
+class TestTable3:
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_each_optimization_strictly_helps(self, dataset):
+        times = [simulate_epoch(dataset, c).epoch_time for c in ABLATION_STEPS]
+        assert all(a > b for a, b in zip(times, times[1:])), times
+
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_endpoints_near_reference(self, dataset):
+        times = [simulate_epoch(dataset, c).epoch_time for c in ABLATION_STEPS]
+        ref = TABLE3_REFERENCE[dataset]
+        assert rel_err(times[0], ref[0]) < 0.35
+        assert rel_err(times[-1], ref[-1]) < 0.45
+
+
+class TestFigure4:
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_speedup_band(self, dataset):
+        base = simulate_epoch(dataset, CONFIG_PYG).epoch_time
+        opt = simulate_epoch(dataset, CONFIG_SALIENT).epoch_time
+        assert 2.2 < base / opt < 4.0  # paper: 3x-3.4x
+
+    def test_salient_gpu_utilization_near_one_for_papers(self):
+        """'per-epoch runtime nearly equal to the GPU compute time'."""
+        b = simulate_epoch("papers", CONFIG_SALIENT)
+        assert b.gpu_utilization > 0.9

@@ -1,0 +1,52 @@
+"""Reservation-based resource semantics."""
+
+import pytest
+
+from repro.perfmodel import Interval, Resource
+
+
+class TestResource:
+    def test_single_server_serializes(self):
+        r = Resource(1)
+        a = r.serve(0.0, 2.0)
+        b = r.serve(0.0, 3.0)
+        assert (a.start, a.end) == (0.0, 2.0)
+        assert (b.start, b.end) == (2.0, 5.0)
+
+    def test_ready_time_respected(self):
+        r = Resource(1)
+        a = r.serve(10.0, 1.0)
+        assert a.start == 10.0
+
+    def test_multi_server_parallelism(self):
+        r = Resource(3)
+        ends = [r.serve(0.0, 1.0).end for _ in range(3)]
+        assert ends == [1.0, 1.0, 1.0]
+        # fourth job queues behind the earliest finisher
+        assert r.serve(0.0, 1.0).start == 1.0
+
+    def test_makespan_and_busy(self):
+        r = Resource(2)
+        r.serve(0.0, 4.0)
+        r.serve(0.0, 2.0)
+        assert r.makespan() == 4.0
+        assert r.busy_time == 6.0
+        assert r.utilization(4.0) == pytest.approx(6.0 / 8.0)
+
+    def test_next_free(self):
+        r = Resource(2)
+        r.serve(0.0, 5.0)
+        assert r.next_free() == 0.0
+        r.serve(0.0, 3.0)
+        assert r.next_free() == 3.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(1).serve(0.0, -1.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(0)
+
+    def test_interval_duration(self):
+        assert Interval(1.0, 3.5).duration == 2.5

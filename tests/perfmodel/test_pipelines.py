@@ -1,0 +1,90 @@
+"""Pipeline simulation: structural/monotonicity properties."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel import (
+    CONFIG_PYG,
+    CONFIG_SALIENT,
+    PAPER_WORKLOADS,
+    PipelineConfig,
+    simulate_epoch,
+)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("dataset", ["arxiv", "products", "papers"])
+    @pytest.mark.parametrize("config", [CONFIG_PYG, CONFIG_SALIENT])
+    def test_epoch_bounds(self, dataset, config):
+        b = simulate_epoch(dataset, config)
+        # epoch at least as long as pure GPU compute, at most the sum of all
+        # serial work
+        assert b.epoch_time >= b.train_time - 1e-9
+        assert b.prep_blocking >= 0 and b.transfer_blocking >= 0
+        assert 0 <= b.gpu_utilization <= 1.0
+
+    def test_train_time_config_independent(self):
+        """GPU compute is untouched by the CPU-side optimizations."""
+        a = simulate_epoch("products", CONFIG_PYG)
+        b = simulate_epoch("products", CONFIG_SALIENT)
+        assert a.train_time == pytest.approx(b.train_time)
+
+    def test_batch_scale_scales_epoch(self):
+        small = simulate_epoch("products", CONFIG_SALIENT, batch_scale=1.0)
+        large = simulate_epoch("products", CONFIG_SALIENT, batch_scale=3.0)
+        assert large.epoch_time > 2.0 * small.epoch_time
+
+    def test_num_batches_override(self):
+        full = simulate_epoch("products", CONFIG_SALIENT)
+        half = simulate_epoch(
+            "products", CONFIG_SALIENT, num_batches=PAPER_WORKLOADS["products"].num_batches // 2
+        )
+        assert half.epoch_time < full.epoch_time
+
+    def test_extra_gpu_time_extends_epoch(self):
+        base = simulate_epoch("papers", CONFIG_SALIENT)
+        loaded = simulate_epoch(
+            "papers", CONFIG_SALIENT, extra_gpu_time_per_batch=0.05
+        )
+        assert loaded.epoch_time > base.epoch_time + 0.04 * 1172 * 0.9
+
+
+class TestOptimizationMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.booleans(), st.booleans(), st.booleans(),
+        st.sampled_from(["arxiv", "products", "papers"]),
+    )
+    def test_enabling_any_optimization_never_hurts(
+        self, fast, shared, pipelined, dataset
+    ):
+        """Property: flipping any single optimization ON cannot slow the
+        simulated epoch (the optimizations are independent improvements)."""
+        base = PipelineConfig(
+            name="x",
+            fast_sampling=fast,
+            shared_memory_prep=shared,
+            pipelined_transfers=pipelined,
+        )
+        t_base = simulate_epoch(dataset, base).epoch_time
+        for flag in ("fast_sampling", "shared_memory_prep", "pipelined_transfers"):
+            if getattr(base, flag):
+                continue
+            improved = replace(base, **{flag: True})
+            t_improved = simulate_epoch(dataset, improved).epoch_time
+            assert t_improved <= t_base + 1e-6, (flag, dataset)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 40))
+    def test_more_workers_never_slower(self, w1, w2):
+        lo, hi = min(w1, w2), max(w1, w2)
+        t_lo = simulate_epoch(
+            "products", replace(CONFIG_SALIENT, num_workers=lo)
+        ).epoch_time
+        t_hi = simulate_epoch(
+            "products", replace(CONFIG_SALIENT, num_workers=hi)
+        ).epoch_time
+        assert t_hi <= t_lo + 1e-9

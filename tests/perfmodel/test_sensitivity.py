@@ -1,0 +1,76 @@
+"""Sensitivity-analysis sweeps over the calibrated model."""
+
+import pytest
+
+from repro.perfmodel import (
+    CONFIG_PYG,
+    CONFIG_SALIENT,
+    bottleneck,
+    stage_totals,
+    sweep_cores,
+    sweep_fanout,
+    sweep_feature_width,
+)
+
+
+class TestStageTotals:
+    def test_positive_and_complete(self):
+        totals = stage_totals("products")
+        assert set(totals) == {"prep", "transfer", "gpu"}
+        assert all(v > 0 for v in totals.values())
+
+    def test_pipelined_epoch_approaches_slowest_stage(self):
+        """Section 8: 'end-to-end training time per epoch is nearly equal
+        to the time for the slowest of these components in isolation'."""
+        from repro.perfmodel import simulate_epoch
+
+        for dataset in ("products", "papers"):
+            totals = stage_totals(dataset)
+            slowest = max(totals.values())
+            epoch = simulate_epoch(dataset, CONFIG_SALIENT).epoch_time
+            assert epoch < 1.35 * slowest
+
+    def test_gpu_total_config_independent(self):
+        a = stage_totals("papers", CONFIG_SALIENT)["gpu"]
+        b = stage_totals("papers", CONFIG_PYG)["gpu"]
+        assert a == pytest.approx(b)
+
+
+class TestBottleneck:
+    def test_single_core_is_prep_bound(self):
+        from dataclasses import replace
+
+        cfg = replace(CONFIG_SALIENT, num_workers=1)
+        assert bottleneck("papers", cfg) == "prep"
+
+    def test_huge_features_are_transfer_bound(self):
+        from dataclasses import replace
+
+        from repro.perfmodel import PAPER_WORKLOADS
+
+        workload = replace(
+            PAPER_WORKLOADS["papers"],
+            transfer_bytes=PAPER_WORKLOADS["papers"].transfer_bytes * 20,
+        )
+        assert bottleneck("papers", workload=workload) == "transfer"
+
+
+class TestSweeps:
+    def test_cores_monotone(self):
+        rows = sweep_cores("products", [1, 4, 16])
+        times = [r["epoch_s"] for r in rows]
+        assert times[0] > times[1] > times[2]
+
+    def test_feature_width_monotone_above_one(self):
+        rows = sweep_feature_width("products", [1.0, 2.0, 4.0])
+        times = [r["epoch_s"] for r in rows]
+        assert times[0] < times[1] < times[2]
+
+    def test_fanout_monotone(self):
+        rows = sweep_fanout("arxiv", [1.0, 2.0, 3.0])
+        times = [r["epoch_s"] for r in rows]
+        assert times[0] < times[1] < times[2]
+
+    def test_rows_carry_bottleneck_labels(self):
+        for row in sweep_cores("papers", [2, 20]):
+            assert row["bottleneck"] in {"prep", "transfer", "gpu"}

@@ -1,0 +1,184 @@
+"""Simulated device: streams, events, transfer metering, pinned pool."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import Device, PinnedBufferPool, Stream, StreamEvent
+from repro.sampling import FastNeighborSampler
+from repro.slicing import FeatureStore, slice_batch_fused
+
+
+class TestStream:
+    def test_in_order_execution(self):
+        stream = Stream("test")
+        order = []
+        events = [stream.submit(lambda i=i: order.append(i)) for i in range(10)]
+        for e in events:
+            e.wait()
+        assert order == list(range(10))
+        stream.shutdown()
+
+    def test_synchronize_waits_for_all(self):
+        stream = Stream("test")
+        done = []
+        stream.submit(lambda: (time.sleep(0.02), done.append(1)))
+        stream.synchronize()
+        assert done == [1]
+        stream.shutdown()
+
+    def test_error_propagates_to_waiter(self):
+        stream = Stream("test")
+
+        def boom():
+            raise RuntimeError("kaboom")
+
+        event = stream.submit(boom)
+        with pytest.raises(RuntimeError, match="kaboom"):
+            event.wait()
+        # stream survives the error
+        ok = stream.submit(lambda: None)
+        ok.wait()
+        stream.shutdown()
+
+    def test_submit_after_shutdown_raises(self):
+        stream = Stream("test")
+        stream.shutdown()
+        with pytest.raises(RuntimeError):
+            stream.submit(lambda: None)
+
+    def test_event_timeout(self):
+        event = StreamEvent()
+        with pytest.raises(TimeoutError):
+            event.wait(timeout=0.01)
+
+
+class TestDeviceTransfers:
+    def _batch(self, small_products, seed=0):
+        store = FeatureStore(small_products.features, small_products.labels)
+        sampler = FastNeighborSampler(small_products.graph, [4, 3])
+        rng = np.random.default_rng(seed)
+        batch_nodes = rng.choice(small_products.num_nodes, 8, replace=False)
+        mfg = sampler.sample(batch_nodes, rng)
+        return store, slice_batch_fused(store, mfg)
+
+    def test_transfer_upcasts_to_fp32(self, small_products):
+        device = Device()
+        _, sliced = self._batch(small_products)
+        out = device.transfer_batch(sliced)
+        assert out.xs.data.dtype == np.float32
+        np.testing.assert_allclose(out.xs.data, sliced.xs.astype(np.float32))
+        device.shutdown()
+
+    def test_transfer_counts_bytes(self, small_products):
+        device = Device()
+        _, sliced = self._batch(small_products)
+        device.transfer_batch(sliced)
+        assert device.bytes_transferred == sliced.nbytes()
+        assert device.num_transfers == 1
+        device.shutdown()
+
+    def test_bandwidth_metering_slows_transfer(self, small_products):
+        _, sliced = self._batch(small_products)
+        fast = Device(transfer_bandwidth=None)
+        slow = Device(transfer_bandwidth=sliced.nbytes() / 0.05)  # ~50ms
+        t0 = time.perf_counter()
+        fast.transfer_batch(sliced)
+        fast_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        slow.transfer_batch(sliced)
+        slow_time = time.perf_counter() - t0
+        assert slow_time > fast_time + 0.03
+        fast.shutdown()
+        slow.shutdown()
+
+    def test_roundtrip_latency_charged_per_tensor(self, small_products):
+        _, sliced = self._batch(small_products)
+        lat = Device(roundtrip_latency=0.01)
+        t0 = time.perf_counter()
+        lat.transfer_batch(sliced)
+        elapsed = time.perf_counter() - t0
+        expected_tensors = 2 + 1 + len(sliced.mfg.adjs)
+        assert elapsed >= 0.01 * expected_tensors * 0.9
+        lat.shutdown()
+
+    def test_async_transfer_completes(self, small_products):
+        device = Device()
+        _, sliced = self._batch(small_products)
+        holder, event = device.transfer_batch_async(sliced, batch_index=7)
+        event.wait()
+        assert holder[0] is not None
+        assert holder[0].batch_index == 7
+        device.shutdown()
+
+    def test_to_device_single_array(self):
+        device = Device()
+        arr = np.ones((4, 4), dtype=np.float16)
+        out = device.to_device(arr, cast_fp32=True)
+        assert out.data.dtype == np.float32
+        device.shutdown()
+
+    def test_reset_stats(self, small_products):
+        device = Device()
+        _, sliced = self._batch(small_products)
+        device.transfer_batch(sliced)
+        device.reset_stats()
+        assert device.bytes_transferred == 0
+        device.shutdown()
+
+
+class TestPinnedBufferPool:
+    def test_acquire_release_cycle(self):
+        pool = PinnedBufferPool(2, max_rows=10, num_features=4, max_batch=4)
+        a = pool.acquire()
+        b = pool.acquire()
+        assert pool.free_slots() == 0
+        pool.release(a)
+        assert pool.free_slots() == 1
+        pool.release(b)
+
+    def test_acquire_blocks_when_exhausted(self):
+        pool = PinnedBufferPool(1, max_rows=4, num_features=2, max_batch=2)
+        buf = pool.acquire()
+        acquired = []
+
+        def taker():
+            acquired.append(pool.acquire())
+
+        t = threading.Thread(target=taker, daemon=True)
+        t.start()
+        time.sleep(0.02)
+        assert not acquired
+        pool.release(buf)
+        t.join(timeout=2)
+        assert len(acquired) == 1
+
+    def test_acquire_timeout(self):
+        pool = PinnedBufferPool(1, max_rows=4, num_features=2, max_batch=2)
+        pool.acquire()
+        with pytest.raises(TimeoutError):
+            pool.acquire(timeout=0.01)
+
+    def test_double_release_rejected(self):
+        pool = PinnedBufferPool(1, max_rows=4, num_features=2, max_batch=2)
+        buf = pool.acquire()
+        pool.release(buf)
+        with pytest.raises(ValueError):
+            pool.release(buf)
+
+    def test_buffer_shapes(self):
+        pool = PinnedBufferPool(1, max_rows=7, num_features=3, max_batch=5)
+        buf = pool.acquire()
+        assert buf.features.shape == (7, 3)
+        assert buf.labels.shape == (5,)
+        assert buf.features.dtype == np.float16
+
+    def test_nbytes(self):
+        pool = PinnedBufferPool(2, max_rows=10, num_features=4, max_batch=4)
+        assert pool.nbytes() == 2 * (10 * 4 * 2 + 4 * 8)
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            PinnedBufferPool(0, max_rows=1, num_features=1, max_batch=1)

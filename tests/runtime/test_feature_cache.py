@@ -1,0 +1,106 @@
+"""Device feature cache (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    Device,
+    DeviceFeatureCache,
+    hottest_nodes,
+    transfer_batch_with_cache,
+)
+from repro.sampling import FastNeighborSampler
+from repro.slicing import FeatureStore, slice_batch_fused
+
+
+@pytest.fixture()
+def setup(small_products, rng):
+    store = FeatureStore(small_products.features, small_products.labels)
+    sampler = FastNeighborSampler(small_products.graph, [8, 5])
+    nodes = rng.choice(small_products.num_nodes, size=32, replace=False)
+    batch = slice_batch_fused(store, sampler.sample(nodes, np.random.default_rng(0)))
+    return small_products, store, batch
+
+
+class TestHottestNodes:
+    def test_returns_highest_degree(self, small_products):
+        hot = hottest_nodes(small_products.graph, 50)
+        degrees = small_products.graph.degree()
+        threshold = np.sort(degrees)[-50]
+        assert (degrees[hot] >= threshold).all()
+
+    def test_zero_size(self, small_products):
+        assert len(hottest_nodes(small_products.graph, 0)) == 0
+
+    def test_validation(self, small_products):
+        with pytest.raises(ValueError):
+            hottest_nodes(small_products.graph, small_products.num_nodes + 1)
+
+
+class TestCacheTransfers:
+    def test_assembled_features_match_uncached(self, setup):
+        dataset, store, batch = setup
+        device = Device()
+        cache = DeviceFeatureCache(
+            device, store, hottest_nodes(dataset.graph, 500)
+        )
+        cached_out = transfer_batch_with_cache(device, cache, batch)
+        plain_out = device.transfer_batch(batch)
+        np.testing.assert_allclose(
+            cached_out.xs.data, plain_out.xs.data, rtol=1e-3, atol=1e-4
+        )
+        device.shutdown()
+
+    def test_transfer_volume_reduced(self, setup):
+        dataset, store, batch = setup
+        device = Device()
+        plain = device.transfer_batch(batch)
+        plain_bytes = device.bytes_transferred
+        device.reset_stats()
+        cache = DeviceFeatureCache(device, store, hottest_nodes(dataset.graph, 800))
+        device.reset_stats()  # exclude the one-time cache upload
+        transfer_batch_with_cache(device, cache, batch)
+        assert device.bytes_transferred < plain_bytes
+        assert cache.bytes_saved > 0
+        assert cache.hit_rate() > 0.05
+        device.shutdown()
+
+    def test_hot_cache_beats_random_cache(self, setup):
+        """Degree-ordered caching captures more sampled nodes than random."""
+        dataset, store, batch = setup
+        device = Device()
+        size = 600
+        hot = DeviceFeatureCache(device, store, hottest_nodes(dataset.graph, size))
+        rng = np.random.default_rng(3)
+        random_ids = rng.choice(dataset.num_nodes, size=size, replace=False)
+        rand = DeviceFeatureCache(device, store, random_ids)
+        transfer_batch_with_cache(device, hot, batch)
+        transfer_batch_with_cache(device, rand, batch)
+        assert hot.hit_rate() > rand.hit_rate()
+        device.shutdown()
+
+    def test_empty_cache_is_plain_transfer(self, setup):
+        dataset, store, batch = setup
+        device = Device()
+        cache = DeviceFeatureCache(device, store, np.empty(0, dtype=np.int64))
+        out = transfer_batch_with_cache(device, cache, batch)
+        assert cache.hit_rate() == 0.0
+        np.testing.assert_allclose(
+            out.xs.data, batch.xs[: len(batch.mfg.n_id)].astype(np.float32),
+            rtol=1e-3,
+        )
+        device.shutdown()
+
+    def test_full_cache_transfers_no_features(self, setup):
+        dataset, store, batch = setup
+        device = Device()
+        cache = DeviceFeatureCache(
+            device, store, np.arange(dataset.num_nodes)
+        )
+        device.reset_stats()
+        transfer_batch_with_cache(device, cache, batch)
+        # only labels + adjacency moved
+        expected = batch.ys.nbytes + batch.mfg.nbytes()
+        assert device.bytes_transferred == expected
+        assert cache.misses == 0
+        device.shutdown()

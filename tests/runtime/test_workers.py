@@ -1,0 +1,165 @@
+"""Batch-preparation worker pool: coverage, determinism, buffer recycling."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    BatchPreparationPool,
+    PinnedBufferPool,
+    QueueClosed,
+    estimate_max_rows,
+)
+from repro.sampling import FastNeighborSampler
+from repro.slicing import FeatureStore
+
+
+def make_pool(dataset, num_workers=2, pinned=True, prefetch=4, seed=0):
+    store = FeatureStore(dataset.features, dataset.labels)
+    factory = lambda: FastNeighborSampler(dataset.graph, [5, 3])
+    pinned_pool = None
+    if pinned:
+        rows = estimate_max_rows([5, 3], 32, dataset.num_nodes)
+        pinned_pool = PinnedBufferPool(
+            prefetch, max_rows=rows, num_features=store.num_features, max_batch=32
+        )
+    return (
+        BatchPreparationPool(
+            factory,
+            store,
+            num_workers=num_workers,
+            prefetch_depth=prefetch,
+            pinned_pool=pinned_pool,
+            seed=seed,
+        ),
+        store,
+    )
+
+
+def drain(queue, pool):
+    """Consume all prepared batches, copying pinned views before release.
+
+    Pinned slots are recycled after release, so (like the real device
+    transfer) a consumer must copy the staged data out first.
+    """
+    out = []
+    while True:
+        try:
+            prepared = queue.get()
+        except QueueClosed:
+            return out
+        n = len(prepared.sliced.mfg.n_id)
+        prepared.sliced.xs = prepared.sliced.xs[:n].copy()
+        prepared.sliced.ys = prepared.sliced.ys.copy()
+        out.append(prepared)
+        if prepared.buffer is not None:
+            pool.pinned_pool.release(prepared.buffer)
+
+
+class TestEstimateMaxRows:
+    def test_product_bound(self):
+        assert estimate_max_rows([2, 3], 10, 10_000) == 10 * 3 * 4
+
+    def test_caps_at_graph_size(self):
+        assert estimate_max_rows([50, 50], 1000, 500) == 500
+
+    def test_full_fanout_returns_graph_size(self):
+        assert estimate_max_rows([None, 5], 10, 777) == 777
+
+
+class TestPool:
+    def test_all_batches_prepared_once(self, small_products, rng):
+        pool, _ = make_pool(small_products)
+        batches = [
+            rng.choice(small_products.num_nodes, size=16, replace=False)
+            for _ in range(9)
+        ]
+        queue, join = pool.run(batches)
+        prepared = drain(queue, pool)
+        join()
+        assert sorted(p.index for p in prepared) == list(range(9))
+
+    def test_batches_identical_across_worker_counts(self, small_products, rng):
+        """Per-batch-index RNG seeding: results don't depend on scheduling."""
+        batches = [
+            rng.choice(small_products.num_nodes, size=8, replace=False)
+            for _ in range(6)
+        ]
+        results = {}
+        for workers in (1, 3):
+            pool, _ = make_pool(small_products, num_workers=workers, seed=7)
+            queue, join = pool.run(batches)
+            prepared = {p.index: p for p in drain(queue, pool)}
+            join()
+            results[workers] = prepared
+        for i in range(6):
+            a, b = results[1][i].sliced, results[3][i].sliced
+            np.testing.assert_array_equal(a.mfg.n_id, b.mfg.n_id)
+            np.testing.assert_array_equal(a.xs[: len(a.mfg.n_id)], b.xs[: len(b.mfg.n_id)])
+
+    def test_sliced_content_correct(self, small_products, rng):
+        pool, store = make_pool(small_products)
+        batches = [rng.choice(small_products.num_nodes, size=16, replace=False)]
+        queue, join = pool.run(batches)
+        prepared = drain(queue, pool)
+        join()
+        sliced = prepared[0].sliced
+        np.testing.assert_array_equal(
+            sliced.xs[: len(sliced.mfg.n_id)], store.features[sliced.mfg.n_id]
+        )
+        np.testing.assert_array_equal(sliced.ys, store.labels[sliced.mfg.target_ids()])
+
+    def test_single_worker_preserves_order(self, small_products, rng):
+        pool, _ = make_pool(small_products, num_workers=1)
+        batches = [
+            rng.choice(small_products.num_nodes, size=8, replace=False)
+            for _ in range(5)
+        ]
+        queue, join = pool.run(batches)
+        prepared = drain(queue, pool)
+        join()
+        assert [p.index for p in prepared] == list(range(5))
+
+    def test_pinned_buffers_all_recycled(self, small_products, rng):
+        pool, _ = make_pool(small_products, prefetch=2)
+        batches = [
+            rng.choice(small_products.num_nodes, size=16, replace=False)
+            for _ in range(8)
+        ]
+        queue, join = pool.run(batches)
+        drain(queue, pool)
+        join()
+        assert pool.pinned_pool.free_slots() == pool.pinned_pool.total_slots
+
+    def test_overflow_falls_back_to_fresh_allocation(self, small_products, rng):
+        store = FeatureStore(small_products.features, small_products.labels)
+        factory = lambda: FastNeighborSampler(small_products.graph, [5, 3])
+        tiny_pinned = PinnedBufferPool(
+            2, max_rows=4, num_features=store.num_features, max_batch=32
+        )  # too small for any real MFG
+        pool = BatchPreparationPool(
+            factory, store, num_workers=1, pinned_pool=tiny_pinned
+        )
+        batches = [rng.choice(small_products.num_nodes, size=16, replace=False)]
+        queue, join = pool.run(batches)
+        prepared = drain(queue, pool)
+        join()
+        assert prepared[0].buffer is None
+        assert pool.overflow_count == 1
+        prepared[0].sliced.validate()
+
+    def test_works_without_pinned_pool(self, small_products, rng):
+        pool, _ = make_pool(small_products, pinned=False)
+        batches = [rng.choice(small_products.num_nodes, size=8, replace=False)]
+        queue, join = pool.run(batches)
+        prepared = drain(queue, pool)
+        join()
+        assert prepared[0].buffer is None
+
+    def test_invalid_worker_count(self, small_products):
+        store = FeatureStore(small_products.features, small_products.labels)
+        with pytest.raises(ValueError):
+            BatchPreparationPool(
+                lambda: FastNeighborSampler(small_products.graph, [3]),
+                store,
+                num_workers=0,
+            )

@@ -1,0 +1,146 @@
+"""The 96-variant design space: enumeration and per-variant correctness."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    BASELINE_VARIANT,
+    WINNING_VARIANT,
+    ParameterizedSampler,
+    SamplerVariant,
+    all_variants,
+    expand_hop,
+)
+from repro.sampling.design_space import (
+    _select_fisher_yates,
+    _select_random_keys,
+    _select_rejection,
+    _select_reservoir,
+)
+
+
+class TestEnumeration:
+    def test_exactly_96_variants(self):
+        variants = all_variants()
+        assert len(variants) == 96
+        assert len(set(variants)) == 96  # all distinct (frozen dataclass)
+
+    def test_baseline_and_winner_in_space(self):
+        variants = set(all_variants())
+        assert BASELINE_VARIANT in variants
+        assert WINNING_VARIANT in variants
+
+    def test_winner_matches_paper_findings(self):
+        # Figure 2 analysis: array map + array set + fused construction
+        assert WINNING_VARIANT.id_map == "array"
+        assert WINNING_VARIANT.sample_set == "linear_array"
+        assert WINNING_VARIANT.fused
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            SamplerVariant(id_map="btree")
+        with pytest.raises(ValueError):
+            SamplerVariant(sample_set="bloom")
+        with pytest.raises(ValueError):
+            SamplerVariant(selection="sorted")
+
+    def test_label_readable(self):
+        assert BASELINE_VARIANT.label() == "dict/hashset/rejection/staged"
+
+
+class TestSelectionStrategies:
+    """Each selection strategy must return `fanout` distinct valid offsets."""
+
+    @pytest.mark.parametrize("degree,fanout", [(10, 3), (7, 7), (50, 12)])
+    def test_rejection_all_sets(self, degree, fanout):
+        for sample_set in ("hashset", "linear_array", "sorted_array", "bitmask"):
+            picks = _select_rejection(
+                degree, fanout, np.random.default_rng(0), sample_set
+            )
+            assert len(picks) == fanout
+            assert len(set(picks)) == fanout
+            assert all(0 <= p < degree for p in picks)
+
+    @pytest.mark.parametrize(
+        "strategy", [_select_fisher_yates, _select_reservoir, _select_random_keys]
+    )
+    def test_other_strategies(self, strategy):
+        picks = strategy(20, 6, np.random.default_rng(1))
+        assert len(picks) == 6
+        assert len(set(picks)) == 6
+        assert all(0 <= p < 20 for p in picks)
+
+    @pytest.mark.parametrize(
+        "strategy", [_select_fisher_yates, _select_reservoir, _select_random_keys]
+    )
+    def test_uniformity(self, strategy):
+        """Each offset selected with probability fanout/degree."""
+        degree, fanout, trials = 8, 2, 4000
+        counts = np.zeros(degree)
+        rng = np.random.default_rng(2)
+        for _ in range(trials):
+            for p in strategy(degree, fanout, rng):
+                counts[p] += 1
+        expected = trials * fanout / degree
+        sigma = np.sqrt(trials * (fanout / degree) * (1 - fanout / degree))
+        assert np.all(np.abs(counts - expected) < 5 * sigma)
+
+
+@pytest.mark.parametrize(
+    "variant",
+    # exercising all 96 end-to-end is slow; cover the axes combinatorially:
+    # every value of every knob appears, plus the two special corners.
+    [
+        BASELINE_VARIANT,
+        WINNING_VARIANT,
+        SamplerVariant("array", "bitmask", "fisher_yates", True),
+        SamplerVariant("hybrid", "sorted_array", "reservoir", False),
+        SamplerVariant("dict", "linear_array", "random_keys", True),
+        SamplerVariant("hybrid", "hashset", "random_keys", True),
+        SamplerVariant("array", "sorted_array", "rejection", False),
+    ],
+    ids=lambda v: v.label(),
+)
+class TestVariantCorrectness:
+    def test_mfg_valid(self, variant, small_products, rng):
+        sampler = ParameterizedSampler(small_products.graph, [5, 3], variant)
+        batch = rng.choice(small_products.num_nodes, size=16, replace=False)
+        mfg = sampler.sample(batch, np.random.default_rng(0))
+        mfg.validate()
+        # per-node counts respect fanout
+        adj = mfg.adjs[-1]
+        counts = np.bincount(adj.edge_index[1], minlength=16)
+        degrees = small_products.graph.degree()[batch]
+        np.testing.assert_array_equal(counts, np.minimum(degrees, 5))
+
+    def test_edges_exist_in_graph(self, variant, small_products, rng):
+        sampler = ParameterizedSampler(small_products.graph, [4], variant)
+        batch = rng.choice(small_products.num_nodes, size=8, replace=False)
+        mfg = sampler.sample(batch, np.random.default_rng(1))
+        adj = mfg.adjs[0]
+        for s, d in zip(
+            mfg.n_id[adj.edge_index[0]], mfg.n_id[adj.edge_index[1]]
+        ):
+            assert s in small_products.graph.neighbors(int(d))
+
+
+class TestHopEquivalenceAcrossVariants:
+    def test_full_fanout_hop_identical_everywhere(self, small_products):
+        """With full neighborhoods there is no sampling randomness, so all
+        96 variants must produce exactly the same hop expansion."""
+        frontier = np.array([3, 14, 159])
+        reference = None
+        for variant in all_variants():
+            n_id, edge_index = expand_hop(
+                small_products.graph,
+                frontier,
+                None,
+                np.random.default_rng(0),
+                variant,
+            )
+            edges = set(zip(n_id[edge_index[0]], edge_index[1]))
+            if reference is None:
+                reference = (sorted(n_id), edges)
+            else:
+                assert sorted(n_id) == reference[0], variant.label()
+                assert edges == reference[1], variant.label()

@@ -1,0 +1,86 @@
+"""MFG structural invariants and validation errors."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import MFG, Adj
+
+
+def simple_mfg():
+    # batch of 2 targets; hop adds node 2 and 3.
+    inner = Adj(
+        edge_index=np.array([[2, 3, 0], [0, 1, 1]]), e_id=None, size=(4, 2)
+    )
+    outer = Adj(
+        edge_index=np.array([[4, 5], [2, 3]]), e_id=None, size=(6, 4)
+    )
+    return MFG(n_id=np.arange(6), adjs=[outer, inner], batch_size=2)
+
+
+class TestAdj:
+    def test_unpacks_like_pyg(self):
+        adj = Adj(edge_index=np.array([[0], [0]]), e_id=None, size=(1, 1))
+        edge_index, e_id, size = adj
+        assert size == (1, 1) and e_id is None
+
+    def test_rejects_bad_edge_index_shape(self):
+        with pytest.raises(ValueError):
+            Adj(edge_index=np.zeros((3, 2)), e_id=None, size=(2, 2))
+
+    def test_validate_rejects_dst_exceeding_prefix(self):
+        adj = Adj(edge_index=np.array([[0], [3]]), e_id=None, size=(4, 2))
+        with pytest.raises(ValueError, match="destination"):
+            adj.validate()
+
+    def test_validate_rejects_src_out_of_range(self):
+        adj = Adj(edge_index=np.array([[9], [0]]), e_id=None, size=(4, 2))
+        with pytest.raises(ValueError, match="source"):
+            adj.validate()
+
+    def test_nbytes(self):
+        adj = Adj(edge_index=np.zeros((2, 5), dtype=np.int64), e_id=None, size=(5, 5))
+        assert adj.nbytes() == 2 * 5 * 8
+
+
+class TestMFG:
+    def test_valid_mfg_passes(self):
+        simple_mfg().validate()
+
+    def test_target_ids(self):
+        np.testing.assert_array_equal(simple_mfg().target_ids(), [0, 1])
+
+    def test_counts(self):
+        mfg = simple_mfg()
+        assert mfg.num_layers == 2
+        assert mfg.num_input_nodes == 6
+        assert mfg.total_edges() == 5
+
+    def test_rejects_non_telescoping(self):
+        bad = simple_mfg()
+        bad.adjs[0] = Adj(
+            edge_index=np.array([[4], [2]]), e_id=None, size=(6, 3)
+        )
+        with pytest.raises(ValueError, match="telescope"):
+            bad.validate()
+
+    def test_rejects_wrong_batch_size(self):
+        mfg = simple_mfg()
+        mfg.batch_size = 3
+        with pytest.raises(ValueError):
+            mfg.validate()
+
+    def test_rejects_duplicate_n_id(self):
+        mfg = simple_mfg()
+        mfg.n_id = np.array([0, 1, 2, 3, 4, 4])
+        with pytest.raises(ValueError, match="duplicates"):
+            mfg.validate()
+
+    def test_rejects_n_id_length_mismatch(self):
+        mfg = simple_mfg()
+        mfg.n_id = np.arange(7)
+        with pytest.raises(ValueError, match="n_id"):
+            mfg.validate()
+
+    def test_rejects_empty_layers(self):
+        with pytest.raises(ValueError):
+            MFG(n_id=np.arange(2), adjs=[], batch_size=2).validate()

@@ -1,0 +1,128 @@
+"""Property-based tests: sampler invariants on arbitrary random graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edge_index
+from repro.sampling import (
+    FastNeighborSampler,
+    ParameterizedSampler,
+    PyGNeighborSampler,
+    SamplerVariant,
+)
+
+
+@st.composite
+def graph_and_request(draw):
+    """A random directed graph plus a sampling request over it."""
+    n = draw(st.integers(min_value=2, max_value=30))
+    m = draw(st.integers(min_value=0, max_value=120))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    edge_index = np.array([src, dst], dtype=np.int64).reshape(2, -1)
+    graph = from_edge_index(edge_index, n, undirected=draw(st.booleans()))
+    batch_size = draw(st.integers(min_value=1, max_value=min(8, n)))
+    batch = draw(
+        st.lists(
+            st.integers(0, n - 1),
+            min_size=batch_size,
+            max_size=batch_size,
+            unique=True,
+        )
+    )
+    fanouts = draw(
+        st.lists(
+            st.one_of(st.none(), st.integers(1, 6)), min_size=1, max_size=3
+        )
+    )
+    seed = draw(st.integers(0, 2**31 - 1))
+    return graph, np.asarray(batch, dtype=np.int64), fanouts, seed
+
+
+def assert_mfg_invariants(graph, batch, fanouts, mfg):
+    mfg.validate()
+    # batch prefix
+    np.testing.assert_array_equal(mfg.n_id[: len(batch)], batch)
+    # per-layer: counts respect fanout; every edge exists; no duplicates
+    frontier_size = len(batch)
+    for adj, fanout in zip(reversed(mfg.adjs), fanouts):
+        counts = np.bincount(adj.edge_index[1], minlength=adj.size[1])
+        dst_global = mfg.n_id[adj.edge_index[1]]
+        src_global = mfg.n_id[adj.edge_index[0]]
+        degrees = graph.degree()[mfg.n_id[: adj.size[1]]]
+        cap = degrees if fanout is None else np.minimum(degrees, fanout)
+        np.testing.assert_array_equal(counts, cap)
+        for s, d in zip(src_global, dst_global):
+            assert s in graph.neighbors(int(d))
+        pairs = set(zip(adj.edge_index[0], adj.edge_index[1]))
+        assert len(pairs) == adj.num_edges
+        assert adj.size[1] == frontier_size
+        frontier_size = adj.size[0]
+
+
+class TestSamplerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_and_request())
+    def test_fast_sampler_invariants(self, case):
+        graph, batch, fanouts, seed = case
+        sampler = FastNeighborSampler(graph, fanouts)
+        mfg = sampler.sample(batch, np.random.default_rng(seed))
+        assert_mfg_invariants(graph, batch, fanouts, mfg)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_and_request())
+    def test_reference_sampler_invariants(self, case):
+        graph, batch, fanouts, seed = case
+        sampler = PyGNeighborSampler(graph, fanouts)
+        mfg = sampler.sample(batch, np.random.default_rng(seed))
+        assert_mfg_invariants(graph, batch, fanouts, mfg)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        graph_and_request(),
+        st.sampled_from(
+            [
+                SamplerVariant("array", "linear_array", "rejection", True),
+                SamplerVariant("hybrid", "bitmask", "random_keys", False),
+                SamplerVariant("dict", "sorted_array", "fisher_yates", True),
+            ]
+        ),
+    )
+    def test_parameterized_variants_invariants(self, case, variant):
+        graph, batch, fanouts, seed = case
+        sampler = ParameterizedSampler(graph, fanouts, variant)
+        mfg = sampler.sample(batch, np.random.default_rng(seed))
+        assert_mfg_invariants(graph, batch, fanouts, mfg)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_and_request())
+    def test_fast_sampler_map_always_reset(self, case):
+        """The persistent array ID map never leaks state across samples."""
+        graph, batch, fanouts, seed = case
+        sampler = FastNeighborSampler(graph, fanouts)
+        sampler.sample(batch, np.random.default_rng(seed))
+        assert (sampler._local_of == -1).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_and_request())
+    def test_fast_and_reference_agree_at_full_fanout(self, case):
+        """Without randomness the two backends must produce the same edges."""
+        graph, batch, fanouts, seed = case
+        full = [None] * len(fanouts)
+        mfg_a = FastNeighborSampler(graph, full).sample(
+            batch, np.random.default_rng(0)
+        )
+        mfg_b = PyGNeighborSampler(graph, full).sample(
+            batch, np.random.default_rng(0)
+        )
+        assert sorted(mfg_a.n_id) == sorted(mfg_b.n_id)
+        for adj_a, adj_b in zip(mfg_a.adjs, mfg_b.adjs):
+            edges_a = set(
+                zip(mfg_a.n_id[adj_a.edge_index[0]], mfg_a.n_id[adj_a.edge_index[1]])
+            )
+            edges_b = set(
+                zip(mfg_b.n_id[adj_b.edge_index[0]], mfg_b.n_id[adj_b.edge_index[1]])
+            )
+            assert edges_a == edges_b

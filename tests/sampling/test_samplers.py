@@ -1,0 +1,204 @@
+"""Sampler backends: structural equivalence, fanout semantics, distribution.
+
+The reference (PyG-style) and fast (SALIENT) samplers must produce
+identically *distributed* MFGs; these tests check the structural
+invariants both must satisfy, plus a statistical uniformity check on the
+fast sampler's without-replacement selection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import star_graph
+from repro.sampling import (
+    BatchIterator,
+    FastNeighborSampler,
+    PyGNeighborSampler,
+    full_fanouts,
+)
+
+SAMPLERS = [PyGNeighborSampler, FastNeighborSampler]
+
+
+def assert_valid_against_graph(mfg, graph):
+    """Every sampled edge must exist in the graph, with correct counts."""
+    mfg.validate()
+    for adj in mfg.adjs:
+        src_global = mfg.n_id[adj.edge_index[0]]
+        dst_global = mfg.n_id[adj.edge_index[1]]
+        for s, d in zip(src_global, dst_global):
+            assert s in graph.neighbors(int(d)), f"edge {s}->{d} not in graph"
+
+
+@pytest.mark.parametrize("sampler_cls", SAMPLERS)
+class TestSamplerContract:
+    def test_mfg_valid_and_edges_exist(self, sampler_cls, small_products, rng):
+        sampler = sampler_cls(small_products.graph, [5, 3])
+        batch = rng.choice(small_products.num_nodes, size=16, replace=False)
+        mfg = sampler.sample(batch, np.random.default_rng(0))
+        assert_valid_against_graph(mfg, small_products.graph)
+
+    def test_batch_nodes_prefix_n_id(self, sampler_cls, small_products, rng):
+        sampler = sampler_cls(small_products.graph, [4, 4])
+        batch = rng.choice(small_products.num_nodes, size=8, replace=False)
+        mfg = sampler.sample(batch, np.random.default_rng(1))
+        np.testing.assert_array_equal(mfg.n_id[:8], batch)
+
+    def test_fanout_caps_neighbor_count(self, sampler_cls, small_products, rng):
+        fanout = 6
+        sampler = sampler_cls(small_products.graph, [fanout])
+        batch = rng.choice(small_products.num_nodes, size=64, replace=False)
+        mfg = sampler.sample(batch, np.random.default_rng(2))
+        adj = mfg.adjs[0]
+        counts = np.bincount(adj.edge_index[1], minlength=len(batch))
+        degrees = small_products.graph.degree()[batch]
+        np.testing.assert_array_equal(counts, np.minimum(degrees, fanout))
+
+    def test_no_duplicate_neighbors_per_target(self, sampler_cls, small_products, rng):
+        sampler = sampler_cls(small_products.graph, [10])
+        batch = rng.choice(small_products.num_nodes, size=32, replace=False)
+        mfg = sampler.sample(batch, np.random.default_rng(3))
+        adj = mfg.adjs[0]
+        pairs = set(zip(adj.edge_index[0], adj.edge_index[1]))
+        assert len(pairs) == adj.num_edges
+
+    def test_full_fanout_returns_entire_neighborhood(self, sampler_cls, small_products):
+        sampler = sampler_cls(small_products.graph, full_fanouts(1))
+        batch = np.array([0, 1, 2, 3])
+        mfg = sampler.sample(batch, np.random.default_rng(4))
+        adj = mfg.adjs[0]
+        counts = np.bincount(adj.edge_index[1], minlength=4)
+        np.testing.assert_array_equal(counts, small_products.graph.degree()[batch])
+        # and the exact neighbor sets match
+        for local, v in enumerate(batch):
+            sampled = set(mfg.n_id[adj.edge_index[0][adj.edge_index[1] == local]])
+            assert sampled == set(small_products.graph.neighbors(int(v)))
+
+    def test_multihop_telescopes(self, sampler_cls, small_products, rng):
+        sampler = sampler_cls(small_products.graph, [5, 4, 3])
+        batch = rng.choice(small_products.num_nodes, size=16, replace=False)
+        mfg = sampler.sample(batch, np.random.default_rng(5))
+        assert mfg.num_layers == 3
+        assert mfg.adjs[-1].size[1] == 16
+        # destination sets grow outward
+        assert mfg.adjs[0].size[0] >= mfg.adjs[1].size[0] >= mfg.adjs[2].size[0]
+
+    def test_isolated_node_ok(self, sampler_cls):
+        # a graph with an isolated node: star + extra unattached node
+        from repro.graph import CSRGraph
+
+        star = star_graph(3)
+        g = CSRGraph(
+            np.concatenate([star.indptr, [star.indptr[-1]]]),
+            star.indices,
+            star.num_nodes + 1,
+        )
+        sampler = sampler_cls(g, [3])
+        mfg = sampler.sample(np.array([4]), np.random.default_rng(0))
+        assert mfg.total_edges() == 0
+        assert mfg.batch_size == 1
+
+    def test_empty_batch_rejected(self, sampler_cls, small_products):
+        sampler = sampler_cls(small_products.graph, [3])
+        with pytest.raises(ValueError):
+            sampler.sample(np.array([], dtype=np.int64), np.random.default_rng(0))
+
+    def test_bad_fanout_rejected(self, sampler_cls, small_products):
+        with pytest.raises(ValueError):
+            sampler_cls(small_products.graph, [0])
+        with pytest.raises(ValueError):
+            sampler_cls(small_products.graph, [])
+
+
+class TestEquivalence:
+    def test_same_structure_at_full_fanout(self, small_products, rng):
+        """With fanout >= max degree, both samplers return the exact
+        neighborhood, so their MFGs must agree up to node ordering."""
+        max_deg = int(small_products.graph.degree().max())
+        batch = rng.choice(small_products.num_nodes, size=8, replace=False)
+        mfgs = []
+        for cls in SAMPLERS:
+            sampler = cls(small_products.graph, [max_deg + 1, max_deg + 1])
+            mfgs.append(sampler.sample(batch, np.random.default_rng(0)))
+        a, b = mfgs
+        assert sorted(a.n_id) == sorted(b.n_id)
+        assert a.total_edges() == b.total_edges()
+        for adj_a, adj_b in zip(a.adjs, b.adjs):
+            # compare global edge sets
+            ea = set(zip(a.n_id[adj_a.edge_index[0]], a.n_id[adj_a.edge_index[1]]))
+            eb = set(zip(b.n_id[adj_b.edge_index[0]], b.n_id[adj_b.edge_index[1]]))
+            assert ea == eb
+
+    def test_fast_sampler_uniform_selection(self):
+        """Chi-square style check: the vectorized random-keys selection picks
+        each neighbor of a fixed node with equal probability."""
+        g = star_graph(20)  # hub 0 with 20 leaves
+        sampler = FastNeighborSampler(g, [5])
+        rng = np.random.default_rng(0)
+        counts = np.zeros(21)
+        trials = 2000
+        for _ in range(trials):
+            mfg = sampler.sample(np.array([0]), rng)
+            adj = mfg.adjs[0]
+            picked = mfg.n_id[adj.edge_index[0]]
+            counts[picked] += 1
+        leaf_counts = counts[1:]
+        expected = trials * 5 / 20
+        # each leaf picked ~500 times; allow 5 sigma of binomial noise
+        sigma = np.sqrt(trials * (5 / 20) * (15 / 20))
+        assert np.all(np.abs(leaf_counts - expected) < 5 * sigma)
+
+    def test_pyg_sampler_uniform_selection(self):
+        g = star_graph(12)
+        sampler = PyGNeighborSampler(g, [4])
+        rng = np.random.default_rng(0)
+        counts = np.zeros(13)
+        trials = 1500
+        for _ in range(trials):
+            mfg = sampler.sample(np.array([0]), rng)
+            picked = mfg.n_id[mfg.adjs[0].edge_index[0]]
+            counts[picked] += 1
+        expected = trials * 4 / 12
+        sigma = np.sqrt(trials * (4 / 12) * (8 / 12))
+        assert np.all(np.abs(counts[1:] - expected) < 5 * sigma)
+
+    def test_fast_sampler_state_reset_between_calls(self, small_products, rng):
+        """The persistent array ID map must be fully cleaned after a batch."""
+        sampler = FastNeighborSampler(small_products.graph, [5, 5])
+        for trial in range(5):
+            batch = rng.choice(small_products.num_nodes, size=16, replace=False)
+            mfg = sampler.sample(batch, np.random.default_rng(trial))
+            mfg.validate()
+        assert (sampler._local_of == -1).all()
+
+
+class TestBatchIterator:
+    def test_covers_all_nodes(self):
+        it = BatchIterator(np.arange(10), 3, shuffle=False)
+        batches = list(it)
+        assert len(batches) == 4
+        np.testing.assert_array_equal(np.concatenate(batches), np.arange(10))
+
+    def test_drop_last(self):
+        it = BatchIterator(np.arange(10), 3, shuffle=False, drop_last=True)
+        batches = list(it)
+        assert len(batches) == 3 == len(it)
+        assert all(len(b) == 3 for b in batches)
+
+    def test_shuffle_deterministic_by_rng(self):
+        a = list(BatchIterator(np.arange(20), 5, rng=np.random.default_rng(0)))
+        b = list(BatchIterator(np.arange(20), 5, rng=np.random.default_rng(0)))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_shuffle_permutes(self):
+        batches = list(BatchIterator(np.arange(100), 100, rng=np.random.default_rng(1)))
+        assert not np.array_equal(batches[0], np.arange(100))
+        np.testing.assert_array_equal(np.sort(batches[0]), np.arange(100))
+
+    def test_len_without_drop(self):
+        assert len(BatchIterator(np.arange(10), 3)) == 4
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchIterator(np.arange(5), 0)

@@ -1,0 +1,185 @@
+"""Subgraph samplers, lazy schedules, and the GNS cache sampler."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    CacheRestrictedSampler,
+    ClusterSubgraphSampler,
+    FastNeighborSampler,
+    LazySamplerSchedule,
+    RandomNodeSubgraphSampler,
+    RandomWalkSubgraphSampler,
+)
+
+
+class TestRandomNodeSubgraph:
+    def test_size_and_mapping(self, small_products, rng):
+        sampler = RandomNodeSubgraphSampler(small_products.graph, 200)
+        sub = sampler.sample(rng)
+        assert sub.num_nodes == 200
+        assert len(np.unique(sub.n_id)) == 200
+        sub.graph.validate()
+
+    def test_edges_are_induced(self, small_products, rng):
+        sampler = RandomNodeSubgraphSampler(small_products.graph, 150)
+        sub = sampler.sample(rng)
+        members = set(sub.n_id.tolist())
+        for local_src, local_dst in zip(*sub.graph.edge_index()):
+            g_src, g_dst = int(sub.n_id[local_src]), int(sub.n_id[local_dst])
+            assert g_src in members and g_dst in members
+            assert g_dst in small_products.graph.neighbors(g_src)
+
+    def test_size_validation(self, small_products):
+        with pytest.raises(ValueError):
+            RandomNodeSubgraphSampler(small_products.graph, 0)
+        with pytest.raises(ValueError):
+            RandomNodeSubgraphSampler(
+                small_products.graph, small_products.num_nodes + 1
+            )
+
+    def test_full_mfg_layers(self, small_products, rng):
+        sampler = RandomNodeSubgraphSampler(small_products.graph, 100)
+        sub = sampler.sample(rng)
+        layers = sub.full_mfg_layers(3)
+        assert len(layers) == 3
+        for adj in layers:
+            assert adj.size == (100, 100)
+            adj.validate()
+
+
+class TestRandomWalkSubgraph:
+    def test_contains_roots_and_is_connected_ish(self, small_products, rng):
+        sampler = RandomWalkSubgraphSampler(small_products.graph, num_roots=10, walk_length=4)
+        sub = sampler.sample(rng)
+        # walks of length 4 from 10 roots: between 10 and 50 nodes
+        assert 10 <= sub.num_nodes <= 50
+        # the induced subgraph of a random walk has edges (walk steps)
+        assert sub.graph.num_edges > 0
+
+    def test_parameter_validation(self, small_products):
+        with pytest.raises(ValueError):
+            RandomWalkSubgraphSampler(small_products.graph, 0, 3)
+        with pytest.raises(ValueError):
+            RandomWalkSubgraphSampler(small_products.graph, 3, 0)
+
+
+class TestClusterSubgraph:
+    def test_single_cluster_batches(self, small_products, rng):
+        sampler = ClusterSubgraphSampler(small_products.graph, 8, rng=np.random.default_rng(1))
+        sub = sampler.sample(rng, clusters_per_batch=1)
+        # one cluster of an 8-way partition: roughly n/8 nodes
+        assert sub.num_nodes < small_products.num_nodes / 2
+
+    def test_clusters_cover_graph(self, small_products):
+        sampler = ClusterSubgraphSampler(small_products.graph, 4, rng=np.random.default_rng(1))
+        total = sum(len(sampler.cluster_nodes(c)) for c in range(4))
+        assert total == small_products.num_nodes
+
+    def test_multi_cluster_batch_is_larger(self, small_products, rng):
+        sampler = ClusterSubgraphSampler(small_products.graph, 8, rng=np.random.default_rng(1))
+        one = sampler.sample(np.random.default_rng(3), clusters_per_batch=1)
+        three = sampler.sample(np.random.default_rng(3), clusters_per_batch=3)
+        assert three.num_nodes > one.num_nodes
+
+
+class TestLazySchedule:
+    def test_recycles_within_period(self, small_products, rng):
+        base = FastNeighborSampler(small_products.graph, [5, 3])
+        lazy = LazySamplerSchedule(base, recycle=3)
+        batch = rng.choice(small_products.num_nodes, size=16, replace=False)
+
+        lazy.start_epoch(0)
+        first = lazy.sample(0, batch, np.random.default_rng(0))
+        lazy.start_epoch(1)
+        second = lazy.sample(0, batch, np.random.default_rng(99))
+        assert second is first  # recycled, RNG ignored
+        assert lazy.sampler_calls == 1
+
+    def test_refreshes_at_period(self, small_products, rng):
+        base = FastNeighborSampler(small_products.graph, [5, 3])
+        lazy = LazySamplerSchedule(base, recycle=2)
+        batch = rng.choice(small_products.num_nodes, size=16, replace=False)
+        lazy.start_epoch(0)
+        first = lazy.sample(0, batch, np.random.default_rng(0))
+        lazy.start_epoch(2)  # period boundary: cache cleared
+        third = lazy.sample(0, batch, np.random.default_rng(1))
+        assert third is not first
+        assert lazy.sampler_calls == 2
+
+    def test_distinct_batches_cached_separately(self, small_products, rng):
+        base = FastNeighborSampler(small_products.graph, [5])
+        lazy = LazySamplerSchedule(base, recycle=2)
+        lazy.start_epoch(0)
+        a = lazy.sample(0, np.array([1, 2]), np.random.default_rng(0))
+        b = lazy.sample(1, np.array([3, 4]), np.random.default_rng(0))
+        assert a is not b
+        assert lazy.sampler_calls == 2
+
+    def test_invalid_period(self, small_products):
+        with pytest.raises(ValueError):
+            LazySamplerSchedule(FastNeighborSampler(small_products.graph, [3]), recycle=0)
+
+
+class TestCacheRestrictedSampler:
+    def test_produces_valid_mfgs(self, small_products, rng):
+        sampler = CacheRestrictedSampler(
+            small_products.graph, [5, 3], cache_size=400,
+            rng=np.random.default_rng(0),
+        )
+        batch = rng.choice(small_products.num_nodes, size=16, replace=False)
+        mfg = sampler.sample(batch, np.random.default_rng(1))
+        mfg.validate()
+        # per-target neighbor counts still respect the fanout
+        adj = mfg.adjs[-1]
+        counts = np.bincount(adj.edge_index[1], minlength=16)
+        degrees = small_products.graph.degree()[batch]
+        np.testing.assert_array_equal(counts, np.minimum(degrees, 5))
+
+    def test_sampled_edges_exist(self, small_products, rng):
+        sampler = CacheRestrictedSampler(
+            small_products.graph, [4], cache_size=300, rng=np.random.default_rng(0)
+        )
+        batch = rng.choice(small_products.num_nodes, size=8, replace=False)
+        mfg = sampler.sample(batch, np.random.default_rng(1))
+        adj = mfg.adjs[0]
+        for s, d in zip(mfg.n_id[adj.edge_index[0]], mfg.n_id[adj.edge_index[1]]):
+            assert s in small_products.graph.neighbors(int(d))
+
+    def test_bigger_cache_more_hits(self, small_products, rng):
+        batch = rng.choice(small_products.num_nodes, size=32, replace=False)
+        rates = []
+        for size in (100, small_products.num_nodes):
+            sampler = CacheRestrictedSampler(
+                small_products.graph, [10], cache_size=size,
+                rng=np.random.default_rng(0),
+            )
+            sampler.sample(batch, np.random.default_rng(1))
+            total = sampler.cached_hit_count + sampler.fallback_count
+            rates.append(sampler.cached_hit_count / max(total, 1))
+        assert rates[1] > rates[0]
+
+    def test_full_cache_equals_unrestricted_distribution(self, small_products, rng):
+        """With every node cached, the restriction is a no-op structurally."""
+        sampler = CacheRestrictedSampler(
+            small_products.graph, [6], cache_size=small_products.num_nodes,
+            rng=np.random.default_rng(0),
+        )
+        batch = rng.choice(small_products.num_nodes, size=16, replace=False)
+        mfg = sampler.sample(batch, np.random.default_rng(1))
+        assert sampler.fallback_count <= len(batch)  # only low-degree fallbacks
+        mfg.validate()
+
+    def test_refresh_changes_cache(self, small_products):
+        sampler = CacheRestrictedSampler(
+            small_products.graph, [5], cache_size=200, refresh_every=1,
+            rng=np.random.default_rng(0),
+        )
+        before = sampler.cached_nodes.copy()
+        sampler.start_epoch(1)
+        after = sampler.cached_nodes
+        assert not np.array_equal(before, after)
+
+    def test_cache_size_validation(self, small_products):
+        with pytest.raises(ValueError):
+            CacheRestrictedSampler(small_products.graph, [3], cache_size=0)

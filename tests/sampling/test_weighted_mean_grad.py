@@ -1,0 +1,27 @@
+"""Numerical gradient check for the importance-weighted aggregation."""
+
+import numpy as np
+
+from repro.sampling import weighted_segment_mean
+from repro.tensor import Tensor
+
+from ..helpers import check_gradient
+
+
+class TestWeightedMeanGradients:
+    def test_matches_numerical_gradient(self, rng):
+        index = np.array([0, 0, 1, 2, 2, 2])
+        weights = rng.random(6) + 0.25
+
+        def build(x):
+            return (weighted_segment_mean(x, weights, index, 3) ** 2).sum()
+
+        check_gradient(build, (6, 4), rng, atol=1e-5, rtol=1e-3)
+
+    def test_zero_weight_edge_gets_zero_gradient(self, rng):
+        messages = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        weights = np.array([1.0, 0.0, 1.0])
+        index = np.array([0, 0, 0])
+        weighted_segment_mean(messages, weights, index, 1).sum().backward()
+        np.testing.assert_allclose(messages.grad[1], 0.0, atol=1e-7)
+        assert np.abs(messages.grad[0]).sum() > 0

@@ -1,0 +1,94 @@
+"""Timers and table/bar rendering."""
+
+import time
+
+import pytest
+
+from repro.telemetry import (
+    StageTimers,
+    Timer,
+    format_bar_chart,
+    format_seconds,
+    format_table,
+)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        for _ in range(3):
+            with t:
+                time.sleep(0.002)
+        assert t.count == 3
+        assert t.total >= 0.006
+        assert t.mean == pytest.approx(t.total / 3)
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.total == 0.0 and t.count == 0
+
+    def test_mean_of_empty(self):
+        assert Timer().mean == 0.0
+
+
+class TestStageTimers:
+    def test_named_accumulation(self):
+        timers = StageTimers()
+        with timers.time("sample"):
+            time.sleep(0.001)
+        with timers.time("sample"):
+            pass
+        with timers.time("train"):
+            pass
+        assert timers["sample"].count == 2
+        assert set(timers.totals()) == {"sample", "train"}
+
+    def test_reset_all(self):
+        timers = StageTimers()
+        with timers.time("x"):
+            pass
+        timers.reset()
+        assert timers["x"].total == 0.0
+
+
+class TestFormatting:
+    def test_format_seconds_scales(self):
+        assert format_seconds(13.9) == "13.9s"
+        assert format_seconds(2.42) == "2.42s"
+        assert format_seconds(0.0123) == "12.3ms"
+        assert format_seconds(45e-6) == "45us"
+
+    def test_format_table_alignment(self):
+        rows = [
+            {"dataset": "arxiv", "epoch": 1.7},
+            {"dataset": "products", "epoch": 8.6},
+        ]
+        out = format_table(rows, title="Table 1")
+        lines = out.splitlines()
+        assert lines[0] == "Table 1"
+        assert "dataset" in lines[1] and "epoch" in lines[1]
+        assert "products" in out
+
+    def test_format_table_empty(self):
+        assert "empty" in format_table([])
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_bar_chart_scales_to_peak(self):
+        out = format_bar_chart(["x", "yy"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bar_chart_empty(self):
+        assert format_bar_chart([], []) == "(empty)"
+
+    def test_bar_chart_zero_values(self):
+        out = format_bar_chart(["a"], [0.0])
+        assert "a" in out

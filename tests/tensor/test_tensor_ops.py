@@ -1,0 +1,237 @@
+"""Autograd correctness for elementwise/linear-algebra/reduction ops."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad
+
+from ..helpers import check_gradient
+
+
+class TestConstruction:
+    def test_float16_upcast(self):
+        t = Tensor(np.zeros(3, dtype=np.float16))
+        assert t.dtype == np.float32
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_int_normalized_to_int64(self):
+        t = Tensor(np.zeros(3, dtype=np.int32))
+        assert t.dtype == np.int64
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2).detach()
+        c = (b * 3).sum()
+        c.backward()
+        assert a.grad is None
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+
+class TestArithmeticValues:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3.0))
+        np.testing.assert_allclose((a + b).data, np.ones((2, 3)) + np.arange(3.0))
+
+    def test_scalar_ops(self):
+        a = Tensor([2.0, 4.0])
+        np.testing.assert_allclose((a * 3).data, [6.0, 12.0])
+        np.testing.assert_allclose((1 + a).data, [3.0, 5.0])
+        np.testing.assert_allclose((a - 1).data, [1.0, 3.0])
+        np.testing.assert_allclose((8 / a).data, [4.0, 2.0])
+        np.testing.assert_allclose((1 - a).data, [-1.0, -3.0])
+
+    def test_matmul(self):
+        a = np.arange(6.0).reshape(2, 3)
+        b = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_pow_requires_scalar(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** np.array([2.0, 3.0])
+
+
+class TestGradients:
+    def test_add_broadcast_grad(self, rng):
+        other = rng.normal(size=(1, 4))
+        check_gradient(lambda x: (x + Tensor(other)).sum(), (3, 4), rng)
+
+    def test_mul_grad(self, rng):
+        other = rng.normal(size=(3, 4))
+        check_gradient(lambda x: (x * Tensor(other) * x).sum(), (3, 4), rng)
+
+    def test_div_grad(self, rng):
+        denom = rng.normal(size=(3,)) + 5.0
+        check_gradient(lambda x: (x / Tensor(denom)).sum(), (2, 3), rng)
+
+    def test_rdiv_grad(self, rng):
+        # gradient through the denominator
+        check_gradient(lambda x: (1.0 / (x * x + 2.0)).sum(), (4,), rng)
+
+    def test_matmul_grad_left(self, rng):
+        other = rng.normal(size=(4, 2))
+        check_gradient(lambda x: (x @ Tensor(other)).sum(), (3, 4), rng)
+
+    def test_matmul_grad_right(self, rng):
+        other = rng.normal(size=(3, 4))
+        check_gradient(lambda x: (Tensor(other) @ x).sum(), (4, 2), rng)
+
+    def test_neg_pow_grad(self, rng):
+        check_gradient(lambda x: (-(x**3)).sum(), (5,), rng)
+
+    def test_transpose_grad(self, rng):
+        w = rng.normal(size=(3, 5))
+        check_gradient(lambda x: (x.T @ Tensor(w)).sum(), (3, 4), rng)
+
+    def test_reshape_grad(self, rng):
+        check_gradient(lambda x: (x.reshape(6) * np.arange(6.0)).sum(), (2, 3), rng)
+
+    def test_sum_axis_grad(self, rng):
+        check_gradient(lambda x: (x.sum(axis=0) ** 2).sum(), (3, 4), rng)
+
+    def test_sum_keepdims_grad(self, rng):
+        check_gradient(
+            lambda x: (x - x.sum(axis=1, keepdims=True)).sum() + (x * x).sum(),
+            (3, 4),
+            rng,
+        )
+
+    def test_mean_grad(self, rng):
+        check_gradient(lambda x: (x.mean(axis=1) ** 2).sum(), (3, 4), rng)
+
+    def test_max_grad_no_ties(self, rng):
+        # distinct values so the subgradient is unique
+        data = np.arange(12.0).reshape(3, 4)
+        rng2 = np.random.default_rng(0)
+
+        def build(x):
+            return (x.max(axis=1) ** 2).sum()
+
+        leaf = Tensor(data.copy(), requires_grad=True)
+        build(leaf).backward()
+        expected = np.zeros((3, 4))
+        expected[:, 3] = 2 * data[:, 3]
+        np.testing.assert_allclose(leaf.grad, expected)
+
+    def test_nonlinearity_grads(self, rng):
+        check_gradient(lambda x: x.tanh().sum(), (4,), rng)
+        check_gradient(lambda x: x.sigmoid().sum(), (4,), rng)
+        check_gradient(lambda x: (x * x + 1.0).sqrt().sum(), (4,), rng)
+        check_gradient(lambda x: x.exp().sum(), (4,), rng)
+        check_gradient(lambda x: (x * x + 1.0).log().sum(), (4,), rng)
+
+    def test_relu_grad_away_from_kink(self, rng):
+        data = rng.normal(size=(10,))
+        data[np.abs(data) < 0.1] = 0.5  # keep finite differences valid
+        leaf = Tensor(data.astype(np.float64), requires_grad=True)
+        leaf.relu().sum().backward()
+        np.testing.assert_allclose(leaf.grad, (data > 0).astype(float))
+
+    def test_leaky_relu_grad(self):
+        leaf = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        leaf.leaky_relu(0.1).sum().backward()
+        np.testing.assert_allclose(leaf.grad, [0.1, 1.0])
+
+    def test_abs_grad(self):
+        leaf = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        leaf.abs().sum().backward()
+        np.testing.assert_allclose(leaf.grad, [-1.0, 1.0])
+
+    def test_getitem_fancy_grad_accumulates_duplicates(self):
+        leaf = Tensor(np.arange(4.0), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        leaf[idx].sum().backward()
+        np.testing.assert_allclose(leaf.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_getitem_slice_grad(self, rng):
+        check_gradient(lambda x: (x[1:3] ** 2).sum(), (5, 2), rng)
+
+    def test_gather_rows_grad(self, rng):
+        idx = np.array([0, 2, 2, 4, 1])
+        check_gradient(lambda x: (x.gather_rows(idx) ** 2).sum(), (5, 3), rng)
+
+    def test_concat_grad(self, rng):
+        other = rng.normal(size=(3, 2))
+
+        def build(x):
+            return (Tensor.concat([x, Tensor(other)], axis=1) ** 2).sum()
+
+        check_gradient(build, (3, 4), rng)
+
+    def test_stack_grad(self, rng):
+        def build(x):
+            return (Tensor.stack([x, x * 2.0], axis=0) ** 2).sum()
+
+        check_gradient(build, (3,), rng)
+
+
+class TestBackwardSemantics:
+    def test_grad_accumulates_across_backwards(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 3).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 5.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_backward_requires_scalar_without_seed(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError, match="scalar"):
+            (a * 2).backward()
+
+    def test_backward_seed_shape_checked(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError, match="shape"):
+            (a * 2).backward(np.ones(3))
+
+    def test_diamond_graph(self):
+        # d = b + c where b, c both derive from a: gradients must merge.
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = a * 2
+        c = a * 5
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_shared_subexpression_counted_once_per_path(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = a * a  # da = 2a
+        (b * b).sum().backward()  # d(a^4) = 4a^3 = 32
+        np.testing.assert_allclose(a.grad, [32.0])
+
+    def test_deep_chain_does_not_recurse(self):
+        # would overflow the default recursion limit if implemented recursively
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_no_grad_blocks_tape(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            b = a * 2
+        assert b._parents == ()
+        c = a * 2
+        c.sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0])
+
+    def test_no_grad_nests_and_restores(self):
+        from repro.tensor import is_grad_enabled
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()

@@ -1,0 +1,81 @@
+"""End-to-end training with the subgraph-sampling extension.
+
+Demonstrates the Section 2.2 subgraph family actually trains: a
+Cluster-GCN-style loop (full-batch within sampled clusters) reaches
+accuracy far above chance on the products stand-in, reusing the standard
+architectures through ``SampledSubgraph.full_mfg_layers``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn import Adam
+from repro.sampling import ClusterSubgraphSampler, RandomWalkSubgraphSampler
+from repro.tensor import Tensor, functional as F
+from repro.train import accuracy, sampled_inference
+
+
+def _train_subgraph_loop(dataset, sampler_step, epochs=20, hidden=32, lr=0.01):
+    model = build_model(
+        "sage", dataset.num_features, hidden, dataset.num_classes,
+        num_layers=2, rng=np.random.default_rng(0),
+    )
+    optimizer = Adam(model.parameters(), lr=lr)
+    train_mask = np.zeros(dataset.num_nodes, dtype=bool)
+    train_mask[dataset.split.train] = True
+
+    for epoch in range(epochs):
+        sub = sampler_step(np.random.default_rng(epoch))
+        labeled_local = np.flatnonzero(train_mask[sub.n_id])
+        if len(labeled_local) == 0:
+            continue
+        layers = sub.full_mfg_layers(2)
+        x = Tensor(dataset.features[sub.n_id].astype(np.float32))
+        model.train()
+        optimizer.zero_grad()
+        out = model(x, layers)
+        loss = F.nll_loss(out[labeled_local], dataset.labels[sub.n_id][labeled_local])
+        loss.backward()
+        optimizer.step()
+    return model
+
+
+class TestSubgraphTraining:
+    def test_cluster_gcn_loop_learns(self, small_products):
+        sampler = ClusterSubgraphSampler(
+            small_products.graph, 6, rng=np.random.default_rng(1)
+        )
+        model = _train_subgraph_loop(
+            small_products,
+            lambda rng: sampler.sample(rng, clusters_per_batch=2),
+            epochs=40,
+        )
+        log_probs = sampled_inference(
+            model,
+            small_products.features,
+            small_products.graph,
+            small_products.split.test,
+            [10, 10],
+            batch_size=256,
+        )
+        acc = accuracy(log_probs, small_products.labels[small_products.split.test])
+        assert acc > 0.30  # ~3x above the 10-class chance level
+
+    def test_random_walk_loop_learns(self, small_products):
+        sampler = RandomWalkSubgraphSampler(
+            small_products.graph, num_roots=300, walk_length=2
+        )
+        model = _train_subgraph_loop(
+            small_products, lambda rng: sampler.sample(rng), epochs=40
+        )
+        log_probs = sampled_inference(
+            model,
+            small_products.features,
+            small_products.graph,
+            small_products.split.test,
+            [10, 10],
+            batch_size=256,
+        )
+        acc = accuracy(log_probs, small_products.labels[small_products.split.test])
+        assert acc > 0.3
