@@ -1,0 +1,130 @@
+"""Schema validator for ``BENCH_sampler_hotpath.json``.
+
+The hot-path bench writes a machine-readable artifact at the repo root so
+future PRs can diff perf trajectories. This validator is the contract: the
+tier-1 test suite runs it against both a fresh ``--smoke`` artifact and the
+committed root JSON, so schema drift (renamed keys, missing variants,
+non-finite numbers) fails fast instead of silently rotting.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench_json.py BENCH_sampler_hotpath.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+ROW_KEYS = ("bench", "dataset", "variant", "median_s", "p90_s", "edges_per_s")
+SAMPLER_VARIANTS = {"reference", "fast", "arena"}
+SLICING_VARIANTS = {"reference", "fused_pinned"}
+SUMMARY_KEYS = (
+    "arena_vs_fast_speedup",
+    "arena_vs_reference_speedup",
+    "fused_vs_reference_slicing_speedup",
+)
+
+
+def _is_positive_number(value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+        and value > 0
+    )
+
+
+def validate(doc: dict, min_reps: int = 1) -> list[str]:
+    """Return a list of schema violations (empty means the doc is valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top level must be a JSON object"]
+    if doc.get("bench") != "sampler_hotpath":
+        errors.append(f"bench must be 'sampler_hotpath', got {doc.get('bench')!r}")
+    reps = doc.get("reps")
+    if not isinstance(reps, int) or reps < min_reps:
+        errors.append(f"reps must be an int >= {min_reps}, got {reps!r}")
+    if doc.get("mode") not in ("smoke", "full"):
+        errors.append(f"mode must be 'smoke' or 'full', got {doc.get('mode')!r}")
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        errors.append("rows must be a non-empty list")
+        rows = []
+    seen: dict[tuple, set] = {}
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append(f"rows[{i}] is not an object")
+            continue
+        missing = [k for k in ROW_KEYS if k not in row]
+        if missing:
+            errors.append(f"rows[{i}] missing keys: {missing}")
+            continue
+        if row["bench"] not in ("sampler", "slicing"):
+            errors.append(f"rows[{i}].bench invalid: {row['bench']!r}")
+            continue
+        allowed = SAMPLER_VARIANTS if row["bench"] == "sampler" else SLICING_VARIANTS
+        if row["variant"] not in allowed:
+            errors.append(
+                f"rows[{i}].variant {row['variant']!r} not in {sorted(allowed)}"
+            )
+        for key in ("median_s", "p90_s", "edges_per_s"):
+            if not _is_positive_number(row[key]):
+                errors.append(f"rows[{i}].{key} must be a finite positive number")
+        if _is_positive_number(row["median_s"]) and _is_positive_number(row["p90_s"]):
+            if row["p90_s"] < row["median_s"]:
+                errors.append(f"rows[{i}]: p90_s < median_s")
+        seen.setdefault((row["bench"], row["dataset"]), set()).add(row["variant"])
+
+    for (bench, dataset), variants in seen.items():
+        required = SAMPLER_VARIANTS if bench == "sampler" else SLICING_VARIANTS
+        absent = required - variants
+        if absent:
+            errors.append(f"{bench}/{dataset} missing variants: {sorted(absent)}")
+
+    summary = doc.get("summary")
+    if not isinstance(summary, dict) or not summary:
+        errors.append("summary must be a non-empty object")
+    else:
+        datasets = {d for (_, d) in seen}
+        for name, entry in summary.items():
+            if name not in datasets:
+                errors.append(f"summary entry {name!r} has no rows")
+            if not isinstance(entry, dict):
+                errors.append(f"summary[{name!r}] is not an object")
+                continue
+            for key in SUMMARY_KEYS:
+                if not _is_positive_number(entry.get(key)):
+                    errors.append(
+                        f"summary[{name!r}].{key} must be a finite positive number"
+                    )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", type=Path, help="bench JSON artifact to validate")
+    parser.add_argument(
+        "--min-reps", type=int, default=1, help="required minimum rep count"
+    )
+    args = parser.parse_args(argv)
+    try:
+        doc = json.loads(args.path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    errors = validate(doc, min_reps=args.min_reps)
+    if errors:
+        for error in errors:
+            print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: valid ({len(doc['rows'])} rows, reps={doc['reps']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..telemetry import Counters
+
 __all__ = ["PinnedBuffer", "PinnedBufferPool"]
 
 
@@ -39,9 +41,11 @@ class PinnedBufferPool:
         num_features: int,
         max_batch: int,
         feature_dtype=np.float16,
+        counters: Optional[Counters] = None,
     ) -> None:
         if num_slots < 1:
             raise ValueError("need at least one slot")
+        self.counters = counters if counters is not None else Counters()
         self.max_rows = max_rows
         self.num_features = num_features
         self.max_batch = max_batch
@@ -62,8 +66,10 @@ class PinnedBufferPool:
         """Block until a slot is free; return it."""
         with self._available:
             while not self._free:
+                self.counters.inc("pinned_acquire_waits")
                 if not self._available.wait(timeout=timeout):
                     raise TimeoutError("no pinned buffer became available")
+            self.counters.inc("pinned_acquires")
             return self._buffers[self._free.pop()]
 
     def release(self, buffer: PinnedBuffer) -> None:
@@ -71,6 +77,7 @@ class PinnedBufferPool:
             if buffer.slot in self._free:
                 raise ValueError(f"slot {buffer.slot} released twice")
             self._free.append(buffer.slot)
+            self.counters.inc("pinned_releases")
             self._available.notify()
 
     def free_slots(self) -> int:

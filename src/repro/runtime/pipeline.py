@@ -25,6 +25,7 @@ import numpy as np
 from ..sampling.base import NeighborSamplerBase
 from ..slicing.slicer import slice_batch_reference
 from ..slicing.store import FeatureStore
+from ..telemetry import Counters
 from .device import Device, DeviceBatch
 from .pinned import PinnedBufferPool
 from .queues import QueueClosed
@@ -130,10 +131,13 @@ class PipelinedExecutor:
         max_batch_hint: int = 1024,
         tracer: Optional[Tracer] = None,
         seed: int = 0,
+        counters: Optional[Counters] = None,
     ) -> None:
         self.store = store
         self.device = device
         self.tracer = tracer or Tracer(enabled=False)
+        #: one shared sink for sampler, slicer and pinned-pool telemetry
+        self.counters = counters if counters is not None else Counters()
         probe = sampler_factory()
         max_rows = max_rows_hint or estimate_max_rows(
             probe.fanouts, max_batch_hint, store.num_nodes
@@ -144,6 +148,7 @@ class PipelinedExecutor:
             num_features=store.num_features,
             max_batch=max_batch_hint,
             feature_dtype=store.feature_dtype,
+            counters=self.counters,
         )
         self.pool = BatchPreparationPool(
             sampler_factory=sampler_factory,
@@ -153,6 +158,7 @@ class PipelinedExecutor:
             pinned_pool=self.pinned_pool,
             tracer=self.tracer,
             seed=seed,
+            counters=self.counters,
         )
 
     def _submit_transfer(self, prepared: PreparedBatch):

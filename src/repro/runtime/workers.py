@@ -25,6 +25,7 @@ import numpy as np
 from ..sampling.base import NeighborSamplerBase
 from ..slicing.slicer import SlicedBatch, slice_batch_fused
 from ..slicing.store import FeatureStore
+from ..telemetry import Counters
 from .pinned import PinnedBuffer, PinnedBufferPool
 from .queues import BoundedOutputQueue, InputQueue, QueueClosed
 from .trace import Tracer
@@ -72,6 +73,7 @@ class BatchPreparationPool:
         pinned_pool: Optional[PinnedBufferPool] = None,
         tracer: Optional[Tracer] = None,
         seed: int = 0,
+        counters: Optional[Counters] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -82,6 +84,9 @@ class BatchPreparationPool:
         self.pinned_pool = pinned_pool
         self.tracer = tracer or Tracer(enabled=False)
         self.seed = seed
+        #: shared telemetry sink; samplers that support ``attach_counters``
+        #: (e.g. the arena-backed FastNeighborSampler) report into it too.
+        self.counters = counters if counters is not None else Counters()
         self.overflow_count = 0  # batches that didn't fit a pinned slot
 
     def _prepare_one(
@@ -110,12 +115,14 @@ class BatchPreparationPool:
                     xs_out=buffer.features,
                     ys_out=buffer.labels,
                     pinned_slot=buffer.slot,
+                    counters=self.counters,
                 )
         else:
             if self.pinned_pool is not None:
                 self.overflow_count += 1
+                self.counters.inc("pool_overflow_batches")
             with self.tracer.span("slice", resource, index):
-                sliced = slice_batch_fused(self.store, mfg)
+                sliced = slice_batch_fused(self.store, mfg, counters=self.counters)
         return PreparedBatch(index=index, sliced=sliced, buffer=buffer)
 
     def run(
@@ -135,6 +142,9 @@ class BatchPreparationPool:
 
         def worker(worker_id: int) -> None:
             sampler = self.sampler_factory()
+            attach = getattr(sampler, "attach_counters", None)
+            if attach is not None:
+                attach(self.counters)
             try:
                 while True:
                     item = input_queue.get()

@@ -6,6 +6,12 @@
 - :class:`ParameterizedSampler` — the 96-variant design space of Figure 2.
 """
 
+from .arena import (
+    SamplerArena,
+    expand_frontier_arena,
+    first_occurrence_dedup,
+    gather_frontier_edges,
+)
 from .base import BatchIterator, NeighborSamplerBase, full_fanouts
 from .design_space import (
     BASELINE_VARIANT,
@@ -37,6 +43,10 @@ __all__ = [
     "sample_adj_reference",
     "FastNeighborSampler",
     "expand_frontier_vectorized",
+    "SamplerArena",
+    "expand_frontier_arena",
+    "first_occurrence_dedup",
+    "gather_frontier_edges",
     "ParameterizedSampler",
     "SamplerVariant",
     "all_variants",

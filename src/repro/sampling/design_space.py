@@ -38,6 +38,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from .arena import SamplerArena, expand_frontier_arena, first_occurrence_dedup
 from .base import NeighborSamplerBase
 from .mfg import MFG, Adj
 
@@ -274,6 +275,56 @@ _ID_MAP_CLASSES = {"dict": _DictIdMap, "array": _ArrayIdMap, "hybrid": _HybridId
 # ----------------------------------------------------------------------
 # Hop expansion
 # ----------------------------------------------------------------------
+#: Shared per-graph-size state for the arena-delegated corner of the space
+#: (mirrors the `_ArrayIdMap._shared` amortization pattern).
+_ARENA_SHARED: dict[int, tuple[SamplerArena, np.ndarray]] = {}
+
+
+def _shared_arena_state(num_nodes: int) -> tuple[SamplerArena, np.ndarray]:
+    state = _ARENA_SHARED.get(num_nodes)
+    if state is None:
+        state = (SamplerArena(), np.full(num_nodes, -1, dtype=np.int64))
+        _ARENA_SHARED[num_nodes] = state
+    return state
+
+
+def _expand_hop_arena(
+    graph: CSRGraph,
+    frontier: np.ndarray,
+    fanout: Optional[int],
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The arena kernels as a hop-contract implementation.
+
+    Variants whose knobs spell out the paper's winning design — array ID
+    map + array set + fused construction — delegate here so the Figure 2
+    sweep both benefits from and cross-checks the production arena hot
+    path instead of maintaining a slower copy of the same design.
+    """
+    frontier = np.ascontiguousarray(frontier, dtype=np.int64)
+    arena, local_of = _shared_arena_state(graph.num_nodes)
+    touched: list[np.ndarray] = []
+    try:
+        touched.append(frontier)
+        local_of[frontier] = np.arange(len(frontier), dtype=np.int64)
+        src_sel, dst_sel = expand_frontier_arena(graph, frontier, fanout, rng, arena)
+        src_local, ordered_new = first_occurrence_dedup(
+            src_sel, local_of, len(frontier), arena
+        )
+        if ordered_new is not None:
+            touched.append(ordered_new)
+            n_id = np.concatenate([frontier, ordered_new])
+        else:
+            n_id = np.asarray(frontier, dtype=np.int64).copy()
+        edge_index = np.empty((2, len(src_sel)), dtype=np.int64)
+        edge_index[0] = src_local
+        edge_index[1] = dst_sel
+    finally:
+        for arr in touched:
+            local_of[arr] = -1
+    return n_id, edge_index
+
+
 def expand_hop(
     graph: CSRGraph,
     frontier: np.ndarray,
@@ -282,6 +333,16 @@ def expand_hop(
     variant: SamplerVariant,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One-hop expansion under ``variant``; returns (n_id, edge_index)."""
+    if (
+        variant.fused
+        and variant.id_map == "array"
+        and variant.sample_set == "linear_array"
+    ):
+        # The winning-design corner delegates to the production arena
+        # kernels (all selection strategies are uniform without
+        # replacement, so only the RNG stream — not the distribution —
+        # differs from the per-element implementations).
+        return _expand_hop_arena(graph, frontier, fanout, rng)
     indptr, indices = graph.indptr, graph.indices
     id_map = _ID_MAP_CLASSES[variant.id_map](graph.num_nodes, frontier)
 

@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from ..sampling.mfg import MFG
+from ..telemetry import Counters
 from .store import FeatureStore
 
 __all__ = ["SlicedBatch", "slice_batch_reference", "slice_batch_fused"]
@@ -73,6 +74,7 @@ def slice_batch_fused(
     xs_out: Optional[np.ndarray] = None,
     ys_out: Optional[np.ndarray] = None,
     pinned_slot: Optional[int] = None,
+    counters: Optional[Counters] = None,
 ) -> SlicedBatch:
     """Slice once, directly into destination (pinned) buffers."""
     n_id = mfg.n_id
@@ -80,4 +82,9 @@ def slice_batch_fused(
     ys_view = ys_out[: mfg.batch_size] if ys_out is not None else None
     xs = store.slice_features(n_id, out=xs_view)
     ys = store.slice_labels(mfg.target_ids(), out=ys_view)
+    if counters is not None:
+        counters.inc("slice_fused_batches")
+        counters.inc("slice_bytes_gathered", xs.nbytes + ys.nbytes)
+        if pinned_slot is not None:
+            counters.inc("slice_pinned_batches")
     return SlicedBatch(mfg=mfg, xs=xs, ys=ys, pinned_slot=pinned_slot)

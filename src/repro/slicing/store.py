@@ -65,7 +65,11 @@ class FeatureStore:
                 raise ValueError(
                     f"out shape {out.shape} != ({len(n_id)}, {self.num_features})"
                 )
-            np.take(self.features, n_id, axis=0, out=out)
+            # mode="raise" (the default) materializes a hidden full-size
+            # temporary before writing to ``out``; an explicit bounds check
+            # followed by mode="clip" keeps the gather truly zero-copy.
+            self._check_ids(n_id)
+            np.take(self.features, n_id, axis=0, out=out, mode="clip")
             return out
         return self.features[n_id]
 
@@ -74,6 +78,17 @@ class FeatureStore:
     ) -> np.ndarray:
         """Gather label entries for ``n_id`` (the batch targets)."""
         if out is not None:
-            np.take(self.labels, n_id, out=out)
+            self._check_ids(n_id)
+            np.take(self.labels, n_id, out=out, mode="clip")
             return out
         return self.labels[n_id]
+
+    def _check_ids(self, n_id: np.ndarray) -> None:
+        if len(n_id) == 0:
+            return
+        lo, hi = int(n_id.min()), int(n_id.max())
+        if lo < 0 or hi >= self.num_nodes:
+            raise IndexError(
+                f"node ids [{lo}, {hi}] out of range for store of "
+                f"{self.num_nodes} nodes"
+            )

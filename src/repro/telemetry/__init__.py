@@ -1,11 +1,13 @@
 """Timers, counters and table/bar rendering for benches."""
 
+from .counters import Counters
 from .tables import format_bar_chart, format_seconds, format_table
 from .timers import StageTimers, Timer
 
 __all__ = [
     "Timer",
     "StageTimers",
+    "Counters",
     "format_table",
     "format_seconds",
     "format_bar_chart",

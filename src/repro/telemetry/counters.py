@@ -1,0 +1,61 @@
+"""Named monotonic counters for allocation/byte/path accounting.
+
+The sampling arena and the fused slicing path report *what they did* —
+buffer grows, bytes gathered, edges routed down the copy vs sort path —
+through a :class:`Counters` instance, so benches and tests can prove
+properties like "O(1) array allocations per batch after warm-up" instead
+of asserting them by inspection.
+
+Counters are thread-safe (batch-preparation workers share one instance)
+and mergeable (per-worker sampler arenas aggregate into a pool view).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, Mapping
+
+__all__ = ["Counters"]
+
+
+class Counters:
+    """Thread-safe named integer counters."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + int(amount)
+
+    def __getitem__(self, name: str) -> int:
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.snapshot())
+
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy of every counter."""
+        with self._lock:
+            return dict(self._values)
+
+    def merge(self, other: "Counters | Mapping[str, int]") -> None:
+        """Accumulate another counter set (or plain mapping) into this one."""
+        items = other.snapshot() if isinstance(other, Counters) else dict(other)
+        with self._lock:
+            for name, value in items.items():
+                self._values[name] = self._values.get(name, 0) + int(value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({self.snapshot()!r})"

@@ -1,0 +1,89 @@
+"""Tier-1 contract for the hot-path bench and its JSON artifact.
+
+Runs ``bench_sampler_hotpath.py --smoke`` end-to-end (seconds-scale) and
+validates its output with ``check_bench_json.py``, then validates the
+committed ``BENCH_sampler_hotpath.json`` at the repo root — including the
+headline acceptance ratio (arena >= 1.3x old-fast on products). Schema or
+regression drift in either artifact fails the ordinary test run.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import check_bench_json  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def smoke_doc(tmp_path_factory):
+    import bench_sampler_hotpath
+
+    out = tmp_path_factory.mktemp("bench") / "smoke.json"
+    assert bench_sampler_hotpath.main(["--smoke", "--output", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+class TestSmokeRun:
+    def test_smoke_artifact_passes_validator(self, smoke_doc):
+        assert check_bench_json.validate(smoke_doc, min_reps=2) == []
+        assert smoke_doc["mode"] == "smoke"
+
+    def test_smoke_covers_all_bench_datasets(self, smoke_doc):
+        from common import BENCH_SCALES
+
+        assert set(smoke_doc["summary"]) == set(BENCH_SCALES)
+
+
+class TestCommittedArtifact:
+    @pytest.fixture(scope="class")
+    def committed(self):
+        path = REPO_ROOT / "BENCH_sampler_hotpath.json"
+        assert path.exists(), "BENCH_sampler_hotpath.json missing at repo root"
+        return json.loads(path.read_text())
+
+    def test_schema_valid_with_full_reps(self, committed):
+        assert check_bench_json.validate(committed, min_reps=5) == []
+        assert committed["mode"] == "full"
+
+    def test_arena_speedup_meets_acceptance_bar(self, committed):
+        assert committed["summary"]["products"]["arena_vs_fast_speedup"] >= 1.3
+
+    def test_fused_slicing_not_slower_than_reference(self, committed):
+        for entry in committed["summary"].values():
+            assert entry["fused_vs_reference_slicing_speedup"] >= 1.0
+
+
+class TestValidatorRejects:
+    def test_missing_rows(self):
+        assert check_bench_json.validate({"bench": "sampler_hotpath"})
+
+    def test_wrong_bench_name(self, smoke_doc):
+        doc = dict(smoke_doc, bench="other")
+        assert any("sampler_hotpath" in e for e in check_bench_json.validate(doc))
+
+    def test_nonfinite_number(self, smoke_doc):
+        doc = json.loads(json.dumps(smoke_doc))
+        doc["rows"][0]["median_s"] = 0.0
+        assert any("median_s" in e for e in check_bench_json.validate(doc))
+
+    def test_missing_variant_detected(self, smoke_doc):
+        doc = json.loads(json.dumps(smoke_doc))
+        doc["rows"] = [r for r in doc["rows"] if r["variant"] != "arena"]
+        assert any("missing variants" in e for e in check_bench_json.validate(doc))
+
+    def test_min_reps_enforced(self, smoke_doc):
+        assert any(
+            "reps" in e for e in check_bench_json.validate(smoke_doc, min_reps=99)
+        )
+
+    def test_cli_roundtrip(self, tmp_path, smoke_doc, capsys):
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps(smoke_doc))
+        assert check_bench_json.main([str(path)]) == 0
+        path.write_text("{not json")
+        assert check_bench_json.main([str(path)]) == 2

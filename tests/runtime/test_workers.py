@@ -163,3 +163,40 @@ class TestPool:
                 store,
                 num_workers=0,
             )
+
+
+class TestPoolCounters:
+    def test_pool_aggregates_sampler_and_slice_telemetry(self, small_products, rng):
+        pool, _ = make_pool(small_products, num_workers=2)
+        batches = [
+            rng.choice(small_products.num_nodes, size=32, replace=False)
+            for _ in range(6)
+        ]
+        queue, join = pool.run(batches)
+        drain(queue, pool)
+        join()
+        # Workers attach their arena samplers to the pool's shared sink and
+        # slice through it, so one Counters instance tells the whole story.
+        assert pool.counters["sampler_batches"] == 6
+        assert pool.counters["slice_fused_batches"] == 6
+        assert pool.counters["slice_pinned_batches"] == 6
+        assert pool.counters["slice_bytes_gathered"] > 0
+        assert pool.counters["arena_grow_count"] > 0
+
+    def test_external_counters_instance_is_used(self, small_products, rng):
+        from repro.telemetry import Counters
+
+        shared = Counters()
+        store = FeatureStore(small_products.features, small_products.labels)
+        pool = BatchPreparationPool(
+            lambda: FastNeighborSampler(small_products.graph, [5, 3]),
+            store,
+            num_workers=1,
+            counters=shared,
+        )
+        batches = [rng.choice(small_products.num_nodes, size=16, replace=False)]
+        queue, join = pool.run(batches)
+        drain(queue, pool)
+        join()
+        assert shared is pool.counters
+        assert shared["sampler_batches"] == 1

@@ -126,3 +126,82 @@ class TestSamplerProperties:
                 zip(mfg_b.n_id[adj_b.edge_index[0]], mfg_b.n_id[adj_b.edge_index[1]])
             )
             assert edges_a == edges_b
+
+
+class TestSelectionUniformity:
+    """The fanout-selection kernels draw uniform without-replacement samples.
+
+    Covers all three code shapes: the legacy lexsort kernel, the arena
+    *split* path (a mix of under- and over-degree segments), and the arena
+    whole-array sort *fallback* (every segment over-degree).  For each, the
+    per-neighbor selection frequency of an over-degree destination across
+    many independent seeds must sit inside binomial confidence bounds, and
+    no destination segment may ever exceed ``fanout``.
+    """
+
+    TRIALS = 300
+
+    @staticmethod
+    def _kernels():
+        from repro.sampling import SamplerArena, expand_frontier_arena
+        from repro.sampling.fast_sampler import expand_frontier_vectorized
+
+        arena = SamplerArena()
+
+        def arena_kernel(graph, frontier, fanout, rng):
+            return expand_frontier_arena(graph, frontier, fanout, rng, arena)
+
+        return {"legacy": expand_frontier_vectorized, "arena": arena_kernel}
+
+    @staticmethod
+    def _build_graph(degree: int, split_path: bool):
+        """Node 0 with ``degree`` out-neighbors (the over-degree segment).
+
+        With ``split_path``, ``degree`` extra frontier nodes with a single
+        neighbor each are added: every such segment is under-degree for any
+        fanout >= 1, and the over-degree edge fraction drops to 0.5 — well
+        below the sort-fallback threshold, forcing the arena split path.
+        """
+        k = degree if split_path else 0
+        first_neighbor = 1 + k
+        edges = [(0, first_neighbor + j) for j in range(degree)]
+        edges += [(i, first_neighbor + degree + i - 1) for i in range(1, 1 + k)]
+        frontier = np.arange(1 + k, dtype=np.int64)
+        num_nodes = first_neighbor + degree + k
+        edge_index = np.array(edges, dtype=np.int64).T.reshape(2, -1)
+        graph = from_edge_index(edge_index, num_nodes)
+        return graph, frontier, slice(first_neighbor, first_neighbor + degree)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        degree=st.integers(min_value=6, max_value=14),
+        fanout=st.integers(min_value=1, max_value=5),
+        split_path=st.booleans(),
+        seed=st.integers(0, 2**20),
+    )
+    def test_selection_is_uniform_without_replacement(
+        self, degree, fanout, split_path, seed
+    ):
+        # split_path=True mixes under- and over-degree segments in the
+        # same call (arena split path); False leaves a single
+        # over-degree segment (arena whole-array sort fallback).
+        graph, frontier, neighbors = self._build_graph(degree, split_path)
+        for name, kernel in self._kernels().items():
+            counts = np.zeros(graph.num_nodes, dtype=np.int64)
+            for trial in range(self.TRIALS):
+                rng = np.random.default_rng([seed, trial])
+                src_sel, dst_sel = kernel(graph, frontier, fanout, rng)
+                seg = np.bincount(dst_sel, minlength=len(frontier))
+                assert seg.max() <= fanout, name
+                # without replacement within each segment
+                assert len(np.unique(src_sel[dst_sel == 0])) == seg[0], name
+                np.add.at(counts, src_sel, 1)
+            # Binomial bounds for node 0's neighbors: each is kept with
+            # p = fanout/degree per trial; 4.5 sigma two-sided, so a false
+            # failure is ~1-in-10^5 even across all hypothesis examples.
+            p = min(1.0, fanout / degree)
+            expected = self.TRIALS * p
+            slack = 4.5 * np.sqrt(self.TRIALS * p * (1 - p)) + 1e-9
+            neighbor_counts = counts[neighbors]
+            assert neighbor_counts.min() >= expected - slack, name
+            assert neighbor_counts.max() <= expected + slack, name

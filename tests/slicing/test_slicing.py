@@ -98,3 +98,61 @@ class TestSlicingPaths:
         batch = slice_batch_fused(store, mfg)
         assert batch.ys.shape == (mfg.batch_size,)
         np.testing.assert_array_equal(batch.ys, store.labels[mfg.target_ids()])
+
+
+class TestZeroIntermediateGather:
+    def test_out_of_range_ids_raise_with_out_buffer(self, store):
+        out = np.empty((2, store.num_features), dtype=store.feature_dtype)
+        with pytest.raises(IndexError, match="out of range"):
+            store.slice_features(
+                np.array([0, store.num_nodes], dtype=np.int64), out=out
+            )
+        with pytest.raises(IndexError, match="out of range"):
+            store.slice_labels(np.array([-1, 0], dtype=np.int64), out=np.empty(2, np.int64))
+
+    def test_empty_id_list_with_out_buffer(self, store):
+        out = np.empty((0, store.num_features), dtype=store.feature_dtype)
+        result = store.slice_features(np.empty(0, dtype=np.int64), out=out)
+        assert result.shape == (0, store.num_features)
+
+    def test_gather_into_out_allocates_no_intermediate(self, store):
+        """The out= gather must not materialize a hidden full-size copy.
+
+        ``np.take(..., mode="raise", out=...)`` builds a temporary the size
+        of the result before copying into ``out``; the bounds-check +
+        ``mode="clip"`` path writes rows directly. Peak traced allocation
+        during the gather must therefore stay far below the payload size.
+        """
+        import tracemalloc
+
+        n_id = np.arange(0, store.num_nodes, 2, dtype=np.int64)
+        out = np.empty((len(n_id), store.num_features), dtype=store.feature_dtype)
+        store.slice_features(n_id, out=out)  # warm-up
+        tracemalloc.start()
+        store.slice_features(n_id, out=out)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < out.nbytes / 10
+        np.testing.assert_array_equal(out, store.features[n_id])
+
+
+class TestSliceCounters:
+    def test_fused_slice_reports_bytes_and_batches(self, store, mfg):
+        from repro.telemetry import Counters
+
+        counters = Counters()
+        batch = slice_batch_fused(store, mfg, counters=counters)
+        assert counters["slice_fused_batches"] == 1
+        assert counters["slice_bytes_gathered"] == batch.xs.nbytes + batch.ys.nbytes
+        assert counters["slice_pinned_batches"] == 0
+
+    def test_pinned_slot_counted(self, store, mfg):
+        from repro.telemetry import Counters
+
+        counters = Counters()
+        xs_buf = np.empty((len(mfg.n_id), store.num_features), store.feature_dtype)
+        ys_buf = np.empty(mfg.batch_size, np.int64)
+        slice_batch_fused(
+            store, mfg, xs_out=xs_buf, ys_out=ys_buf, pinned_slot=3, counters=counters
+        )
+        assert counters["slice_pinned_batches"] == 1

@@ -5,6 +5,7 @@ import time
 import pytest
 
 from repro.telemetry import (
+    Counters,
     StageTimers,
     Timer,
     format_bar_chart,
@@ -92,3 +93,53 @@ class TestFormatting:
     def test_bar_chart_zero_values(self):
         out = format_bar_chart(["a"], [0.0])
         assert "a" in out
+
+
+class TestCounters:
+    def test_inc_and_default_zero(self):
+        counters = Counters()
+        assert counters["missing"] == 0
+        counters.inc("a")
+        counters.inc("a", 4)
+        assert counters["a"] == 5
+        assert "a" in counters
+        assert "missing" not in counters
+
+    def test_snapshot_is_a_copy(self):
+        counters = Counters()
+        counters.inc("a", 2)
+        snap = counters.snapshot()
+        snap["a"] = 99
+        assert counters["a"] == 2
+        assert sorted(counters) == ["a"]
+
+    def test_merge_counters_and_mappings(self):
+        left, right = Counters(), Counters()
+        left.inc("a", 1)
+        right.inc("a", 2)
+        right.inc("b", 3)
+        left.merge(right)
+        left.merge({"b": 1, "c": 5})
+        assert left.snapshot() == {"a": 3, "b": 4, "c": 5}
+
+    def test_reset(self):
+        counters = Counters()
+        counters.inc("a")
+        counters.reset()
+        assert counters.snapshot() == {}
+
+    def test_thread_safety_under_contention(self):
+        import threading
+
+        counters = Counters()
+
+        def hammer():
+            for _ in range(1000):
+                counters.inc("hits")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counters["hits"] == 8000
