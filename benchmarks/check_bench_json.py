@@ -1,14 +1,19 @@
-"""Schema validator for ``BENCH_sampler_hotpath.json``.
+"""Schema validator for the ``BENCH_*.json`` artifacts at the repo root.
 
-The hot-path bench writes a machine-readable artifact at the repo root so
+Each benchmark writes a machine-readable artifact at the repo root so
 future PRs can diff perf trajectories. This validator is the contract: the
-tier-1 test suite runs it against both a fresh ``--smoke`` artifact and the
-committed root JSON, so schema drift (renamed keys, missing variants,
+tier-1 test suite runs it against both fresh ``--smoke`` artifacts and the
+committed root JSONs, so schema drift (renamed keys, missing variants,
 non-finite numbers) fails fast instead of silently rotting.
+
+Validation dispatches on the artifact's ``bench`` field; adding a new
+benchmark means registering one schema entry here — nothing else re-wires.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/check_bench_json.py BENCH_sampler_hotpath.json
+    PYTHONPATH=src python benchmarks/check_bench_json.py [PATH ...]
+
+With no paths, every ``BENCH_*.json`` at the repo root is validated.
 """
 
 from __future__ import annotations
@@ -19,14 +24,43 @@ import math
 import sys
 from pathlib import Path
 
-ROW_KEYS = ("bench", "dataset", "variant", "median_s", "p90_s", "edges_per_s")
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# ----------------------------------------------------------------------
+# Per-bench schemas
+# ----------------------------------------------------------------------
+#: sampler_hotpath: sampler/slicing twins with an edge-throughput measure
 SAMPLER_VARIANTS = {"reference", "fast", "arena"}
 SLICING_VARIANTS = {"reference", "fused_pinned"}
-SUMMARY_KEYS = (
+HOTPATH_SUMMARY_KEYS = (
     "arena_vs_fast_speedup",
     "arena_vs_reference_speedup",
     "fused_vs_reference_slicing_speedup",
 )
+
+#: pipeline: executor policies over training and sampled-inference epochs
+EXECUTOR_VARIANTS = {"serial", "pipelined", "staged"}
+PIPELINE_SUMMARY_KEYS = (
+    "pipelined_train_speedup",
+    "staged_train_speedup",
+    "pipelined_inference_speedup",
+    "staged_inference_speedup",
+)
+
+#: bench name -> (row-group name -> allowed variants, throughput key,
+#:               required per-dataset summary keys)
+SCHEMAS = {
+    "sampler_hotpath": (
+        {"sampler": SAMPLER_VARIANTS, "slicing": SLICING_VARIANTS},
+        "edges_per_s",
+        HOTPATH_SUMMARY_KEYS,
+    ),
+    "pipeline": (
+        {"train": EXECUTOR_VARIANTS, "inference": EXECUTOR_VARIANTS},
+        "batches_per_s",
+        PIPELINE_SUMMARY_KEYS,
+    ),
+}
 
 
 def _is_positive_number(value) -> bool:
@@ -43,14 +77,21 @@ def validate(doc: dict, min_reps: int = 1) -> list[str]:
     errors: list[str] = []
     if not isinstance(doc, dict):
         return ["top level must be a JSON object"]
-    if doc.get("bench") != "sampler_hotpath":
-        errors.append(f"bench must be 'sampler_hotpath', got {doc.get('bench')!r}")
+    bench = doc.get("bench")
+    if bench not in SCHEMAS:
+        return [
+            f"bench must be one of {sorted(SCHEMAS)} "
+            f"(e.g. 'sampler_hotpath'), got {bench!r}"
+        ]
+    groups, throughput_key, summary_keys = SCHEMAS[bench]
+
     reps = doc.get("reps")
     if not isinstance(reps, int) or reps < min_reps:
         errors.append(f"reps must be an int >= {min_reps}, got {reps!r}")
     if doc.get("mode") not in ("smoke", "full"):
         errors.append(f"mode must be 'smoke' or 'full', got {doc.get('mode')!r}")
 
+    row_keys = ("bench", "dataset", "variant", "median_s", "p90_s", throughput_key)
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         errors.append("rows must be a non-empty list")
@@ -60,19 +101,19 @@ def validate(doc: dict, min_reps: int = 1) -> list[str]:
         if not isinstance(row, dict):
             errors.append(f"rows[{i}] is not an object")
             continue
-        missing = [k for k in ROW_KEYS if k not in row]
+        missing = [k for k in row_keys if k not in row]
         if missing:
             errors.append(f"rows[{i}] missing keys: {missing}")
             continue
-        if row["bench"] not in ("sampler", "slicing"):
+        if row["bench"] not in groups:
             errors.append(f"rows[{i}].bench invalid: {row['bench']!r}")
             continue
-        allowed = SAMPLER_VARIANTS if row["bench"] == "sampler" else SLICING_VARIANTS
+        allowed = groups[row["bench"]]
         if row["variant"] not in allowed:
             errors.append(
                 f"rows[{i}].variant {row['variant']!r} not in {sorted(allowed)}"
             )
-        for key in ("median_s", "p90_s", "edges_per_s"):
+        for key in ("median_s", "p90_s", throughput_key):
             if not _is_positive_number(row[key]):
                 errors.append(f"rows[{i}].{key} must be a finite positive number")
         if _is_positive_number(row["median_s"]) and _is_positive_number(row["p90_s"]):
@@ -80,11 +121,10 @@ def validate(doc: dict, min_reps: int = 1) -> list[str]:
                 errors.append(f"rows[{i}]: p90_s < median_s")
         seen.setdefault((row["bench"], row["dataset"]), set()).add(row["variant"])
 
-    for (bench, dataset), variants in seen.items():
-        required = SAMPLER_VARIANTS if bench == "sampler" else SLICING_VARIANTS
-        absent = required - variants
+    for (group, dataset), variants in seen.items():
+        absent = groups[group] - variants
         if absent:
-            errors.append(f"{bench}/{dataset} missing variants: {sorted(absent)}")
+            errors.append(f"{group}/{dataset} missing variants: {sorted(absent)}")
 
     summary = doc.get("summary")
     if not isinstance(summary, dict) or not summary:
@@ -97,7 +137,7 @@ def validate(doc: dict, min_reps: int = 1) -> list[str]:
             if not isinstance(entry, dict):
                 errors.append(f"summary[{name!r}] is not an object")
                 continue
-            for key in SUMMARY_KEYS:
+            for key in summary_keys:
                 if not _is_positive_number(entry.get(key)):
                     errors.append(
                         f"summary[{name!r}].{key} must be a finite positive number"
@@ -105,25 +145,59 @@ def validate(doc: dict, min_reps: int = 1) -> list[str]:
     return errors
 
 
+def validate_all(root: Path = REPO_ROOT, min_reps: int = 1) -> dict[str, list[str]]:
+    """Validate every ``BENCH_*.json`` under ``root``.
+
+    Returns ``{filename: errors}`` for each artifact found (empty error
+    lists mean valid).  An empty dict means *no artifacts were found*,
+    which callers should treat as a failure of its own.
+    """
+    results: dict[str, list[str]] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            results[path.name] = [f"cannot read: {exc}"]
+            continue
+        results[path.name] = validate(doc, min_reps=min_reps)
+    return results
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("path", type=Path, help="bench JSON artifact to validate")
+    parser.add_argument(
+        "paths",
+        type=Path,
+        nargs="*",
+        help="bench JSON artifacts to validate "
+        "(default: every BENCH_*.json at the repo root)",
+    )
     parser.add_argument(
         "--min-reps", type=int, default=1, help="required minimum rep count"
     )
     args = parser.parse_args(argv)
-    try:
-        doc = json.loads(args.path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+
+    paths = args.paths or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print(f"no BENCH_*.json artifacts found under {REPO_ROOT}", file=sys.stderr)
         return 2
-    errors = validate(doc, min_reps=args.min_reps)
-    if errors:
-        for error in errors:
-            print(f"INVALID: {error}", file=sys.stderr)
-        return 1
-    print(f"{args.path}: valid ({len(doc['rows'])} rows, reps={doc['reps']})")
-    return 0
+
+    status = 0
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            status = max(status, 2)
+            continue
+        errors = validate(doc, min_reps=args.min_reps)
+        if errors:
+            for error in errors:
+                print(f"INVALID {path}: {error}", file=sys.stderr)
+            status = max(status, 1)
+        else:
+            print(f"{path}: valid ({len(doc['rows'])} rows, reps={doc['reps']})")
+    return status
 
 
 if __name__ == "__main__":

@@ -40,7 +40,15 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--batch-size", type=int, default=64)
     train.add_argument("--hidden", type=int, default=48)
     train.add_argument("--lr", type=float, default=0.01)
-    train.add_argument("--executor", choices=["serial", "pipelined"], default="pipelined")
+    train.add_argument(
+        "--executor", choices=["serial", "pipelined", "staged"], default="pipelined"
+    )
+    train.add_argument(
+        "--infer-executor",
+        choices=["serial", "pipelined", "staged"],
+        default="serial",
+        help="executor policy for the post-training evaluation passes",
+    )
     train.add_argument("--sampler", choices=["fast", "pyg"], default="fast")
     train.add_argument("--fanouts", type=int, nargs="+", default=None)
     train.add_argument("--seed", type=int, default=0)
@@ -97,7 +105,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"hidden={config.hidden_channels} fanouts={config.train_fanouts}"
     )
     trainer = Trainer(
-        dataset, config, executor=args.executor, sampler=args.sampler, seed=args.seed
+        dataset,
+        config,
+        executor=args.executor,
+        sampler=args.sampler,
+        seed=args.seed,
+        infer_executor=args.infer_executor,
     )
     for epoch in range(args.epochs):
         stats = trainer.train_epoch(epoch)

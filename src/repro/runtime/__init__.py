@@ -7,8 +7,19 @@ from .feature_cache import (
     transfer_batch_with_cache,
 )
 from .pinned import PinnedBuffer, PinnedBufferPool
-from .pipeline import EpochStats, PipelinedExecutor, SerialExecutor
+from .pipeline import EpochStats, PipelinedExecutor, SerialExecutor, StagedExecutor
 from .queues import BoundedOutputQueue, InputQueue, QueueClosed, StaticPartitionQueue
+from .stages import (
+    ComputeStage,
+    Envelope,
+    PrepareStage,
+    SampleStage,
+    SliceStage,
+    Stage,
+    StagedPipeline,
+    StageError,
+    TransferStage,
+)
 from .trace import TraceEvent, Tracer, render_timeline
 from .workers import BatchPreparationPool, PreparedBatch, estimate_max_rows
 

@@ -1,73 +1,58 @@
-"""Epoch executors: the serial baseline workflow and SALIENT's pipeline.
+"""Epoch executors: policy configurations over the staged-pipeline runtime.
 
-:class:`SerialExecutor` reproduces Listing 1 — the standard PyTorch
-workflow of Figure 1(a): sample, slice, transfer, train, strictly in order
-on the main thread.
+Every executor here is a thin wiring of :mod:`repro.runtime.stages` — the
+loop body (queues, workers, overlap, error handling, accounting) lives in
+:class:`~repro.runtime.stages.StagedPipeline`, not in the executors:
 
-:class:`PipelinedExecutor` is SALIENT (Figure 1(b)): worker threads prepare
-batches into pinned buffers ahead of time; a dedicated transfer stream
-moves batch i+1 to the device while the main ("GPU") thread trains on
-batch i; stream events enforce the necessary ordering.
+- :class:`SerialExecutor` reproduces Listing 1 — the standard PyTorch
+  workflow of Figure 1(a): sample, slice (double-copy reference path),
+  transfer, train, strictly in order on the main thread.  Policy:
+  ``prefetch_depth=0``.
+- :class:`PipelinedExecutor` is SALIENT (Figure 1(b)): fused
+  :class:`~repro.runtime.stages.PrepareStage` workers fill pinned buffers
+  ahead of time; the transfer stream moves batch i+1 to the device while
+  the main thread trains on batch i.  Policy: fused prepare +
+  ``prefetch_depth=N``.
+- :class:`StagedExecutor` runs the fully split dataflow (sample → slice →
+  transfer → train as four stages, each with its own workers) — the
+  explicit-stage configuration benchmarks compare against the fused one.
 
-Both record per-stage blocking times (the Table 1 measurement: "time spent
-on it from the perspective of the main thread") and full timelines via
-:class:`~repro.runtime.trace.Tracer`.
+All three record per-stage times (the Table 1 measurement: "time spent on
+it from the perspective of the main thread") into one
+:class:`~repro.runtime.stages.EpochStats` accounting path, and share batch
+seeding, so their per-batch losses are identical for a shared seed.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from ..sampling.base import NeighborSamplerBase
-from ..slicing.slicer import slice_batch_reference
 from ..slicing.store import FeatureStore
 from ..telemetry import Counters
 from .device import Device, DeviceBatch
 from .pinned import PinnedBufferPool
-from .queues import QueueClosed
+from .stages import (
+    ComputeStage,
+    EpochStats,
+    PrepareStage,
+    SampleStage,
+    SliceStage,
+    StagedPipeline,
+    TransferStage,
+)
 from .trace import Tracer
-from .workers import BatchPreparationPool, PreparedBatch, estimate_max_rows
+from .workers import estimate_max_rows
 
-__all__ = ["EpochStats", "SerialExecutor", "PipelinedExecutor"]
+__all__ = ["EpochStats", "SerialExecutor", "PipelinedExecutor", "StagedExecutor"]
 
 TrainFn = Callable[[DeviceBatch], float]
 
 
-@dataclass
-class EpochStats:
-    """Timing breakdown of one epoch, from the main thread's perspective."""
-
-    epoch_time: float = 0.0
-    sample_time: float = 0.0  # blocking sampling time
-    slice_time: float = 0.0  # blocking slicing time
-    transfer_time: float = 0.0  # blocking transfer (or transfer-wait) time
-    train_time: float = 0.0  # device compute time
-    prep_wait_time: float = 0.0  # pipelined: main thread starved for batches
-    num_batches: int = 0
-    bytes_transferred: int = 0
-    losses: list[float] = field(default_factory=list)
-
-    @property
-    def batch_prep_time(self) -> float:
-        """Batch preparation = sampling + slicing (Table 1's first column)."""
-        return self.sample_time + self.slice_time
-
-    def breakdown(self) -> dict[str, float]:
-        """Fractions of epoch time per stage (blocking view)."""
-        total = max(self.epoch_time, 1e-12)
-        return {
-            "batch_prep": self.batch_prep_time / total,
-            "transfer": self.transfer_time / total,
-            "train": self.train_time / total,
-        }
-
-
 class SerialExecutor:
-    """Listing-1 workflow: every stage blocks the main thread."""
+    """Listing-1 workflow: every stage blocks the main thread (depth 0)."""
 
     def __init__(
         self,
@@ -82,42 +67,25 @@ class SerialExecutor:
         self.device = device
         self.tracer = tracer or Tracer(enabled=False)
         self.seed = seed
+        self._pipeline = StagedPipeline(
+            [
+                SampleStage(lambda: sampler),
+                SliceStage(store, reference=True),
+                TransferStage(device),
+                ComputeStage(),
+            ],
+            prefetch_depth=0,
+            seed=seed,
+            tracer=self.tracer,
+        )
+        self.counters = self._pipeline.ctx.counters
 
     def run_epoch(self, batches: Sequence[np.ndarray], train_fn: TrainFn) -> EpochStats:
-        stats = EpochStats()
-        tracer = self.tracer
-        bytes_at_start = self.device.bytes_transferred
-        epoch_start = time.perf_counter()
-        for index, nodes in enumerate(batches):
-            rng = np.random.default_rng(np.random.SeedSequence([self.seed, index]))
-
-            t0 = time.perf_counter()
-            with tracer.span("sample", "cpu:0", index):
-                mfg = self.sampler.sample(nodes, rng)
-            t1 = time.perf_counter()
-            with tracer.span("slice", "cpu:0", index):
-                sliced = slice_batch_reference(self.store, mfg)
-            t2 = time.perf_counter()
-            with tracer.span("transfer", "dma", index):
-                device_batch = self.device.transfer_batch(sliced, index)
-            t3 = time.perf_counter()
-            with tracer.span("train", "gpu", index):
-                loss = train_fn(device_batch)
-            t4 = time.perf_counter()
-
-            stats.sample_time += t1 - t0
-            stats.slice_time += t2 - t1
-            stats.transfer_time += t3 - t2
-            stats.train_time += t4 - t3
-            stats.num_batches += 1
-            stats.losses.append(loss)
-        stats.epoch_time = time.perf_counter() - epoch_start
-        stats.bytes_transferred = self.device.bytes_transferred - bytes_at_start
-        return stats
+        return self._pipeline.run_epoch(batches, train_fn)
 
 
-class PipelinedExecutor:
-    """SALIENT's overlapped pipeline (Sections 4.2-4.3)."""
+class _PooledExecutor:
+    """Shared wiring for the overlapped policies: pinned pool + pipeline."""
 
     def __init__(
         self,
@@ -150,87 +118,48 @@ class PipelinedExecutor:
             feature_dtype=store.feature_dtype,
             counters=self.counters,
         )
-        self.pool = BatchPreparationPool(
-            sampler_factory=sampler_factory,
-            store=store,
-            num_workers=num_workers,
+        self._pipeline = StagedPipeline(
+            self._build_stages(sampler_factory, num_workers),
             prefetch_depth=prefetch_depth,
-            pinned_pool=self.pinned_pool,
-            tracer=self.tracer,
             seed=seed,
+            tracer=self.tracer,
             counters=self.counters,
         )
 
-    def _submit_transfer(self, prepared: PreparedBatch):
-        """Enqueue prepared batch on the transfer stream; returns waiter."""
-        holder: list[Optional[DeviceBatch]] = [None]
-        tracer = self.tracer
-
-        def work() -> None:
-            with tracer.span("transfer", "dma", prepared.index):
-                holder[0] = self.device.transfer_batch(prepared.sliced, prepared.index)
-            # The device copy is complete: the pinned slot can be recycled
-            # even before training consumes the device-side batch.
-            if prepared.buffer is not None:
-                self.pinned_pool.release(prepared.buffer)
-
-        event = self.device.transfer_stream.submit(work)
-        return holder, event
+    def _build_stages(self, sampler_factory, num_workers):
+        raise NotImplementedError
 
     def run_epoch(self, batches: Sequence[np.ndarray], train_fn: TrainFn) -> EpochStats:
-        stats = EpochStats()
-        tracer = self.tracer
-        bytes_at_start = self.device.bytes_transferred
-        epoch_start = time.perf_counter()
-        output_queue, join = self.pool.run(list(batches))
-        try:
-            self._drain_loop(output_queue, train_fn, stats, tracer)
-        except BaseException:
-            # Unblock producers so the executor stays reusable: workers
-            # blocked in put() observe the close, release their pinned
-            # buffers and exit.
-            output_queue.close()
-            self.device.transfer_stream.synchronize()
-            raise
-        join()
-        stats.epoch_time = time.perf_counter() - epoch_start
-        stats.bytes_transferred = self.device.bytes_transferred - bytes_at_start
-        # Workers did sampling/slicing off the main thread; report their
-        # aggregate busy time for completeness (non-blocking).
-        for name, total in tracer.stage_totals().items():
-            if name == "sample":
-                stats.sample_time = total
-            elif name == "slice":
-                stats.slice_time = total
-        return stats
+        return self._pipeline.run_epoch(batches, train_fn)
 
-    def _drain_loop(self, output_queue, train_fn, stats, tracer) -> None:
-        in_flight: Optional[tuple] = None  # (holder, event, index)
-        while True:
-            t0 = time.perf_counter()
-            try:
-                prepared = output_queue.get()
-            except QueueClosed:
-                prepared = None
-            stats.prep_wait_time += time.perf_counter() - t0
 
-            next_in_flight = None
-            if prepared is not None:
-                holder, event = self._submit_transfer(prepared)
-                next_in_flight = (holder, event, prepared.index)
+class PipelinedExecutor(_PooledExecutor):
+    """SALIENT's overlapped pipeline (Sections 4.2-4.3): fused prepare
+    workers (one thread owns a batch's sampling *and* pinned slicing
+    end-to-end) feeding the transfer/compute overlap."""
 
-            if in_flight is not None:
-                holder, event, index = in_flight
-                t1 = time.perf_counter()
-                event.wait()
-                stats.transfer_time += time.perf_counter() - t1
-                t2 = time.perf_counter()
-                with tracer.span("train", "gpu", index):
-                    loss = train_fn(holder[0])
-                stats.train_time += time.perf_counter() - t2
-                stats.num_batches += 1
-                stats.losses.append(loss)
+    def _build_stages(self, sampler_factory, num_workers):
+        return [
+            PrepareStage(
+                sampler_factory,
+                self.store,
+                pinned_pool=self.pinned_pool,
+                workers=num_workers,
+            ),
+            TransferStage(self.device),
+            ComputeStage(),
+        ]
 
-            in_flight = next_in_flight
-            if prepared is None and in_flight is None:
-                break
+
+class StagedExecutor(_PooledExecutor):
+    """Split dataflow: sample and slice as separate stages with their own
+    worker pools and a bounded queue between them — the explicit
+    stage-per-resource configuration of the staged runtime."""
+
+    def _build_stages(self, sampler_factory, num_workers):
+        return [
+            SampleStage(sampler_factory, workers=num_workers),
+            SliceStage(self.store, pinned_pool=self.pinned_pool),
+            TransferStage(self.device),
+            ComputeStage(),
+        ]

@@ -1,0 +1,788 @@
+"""Staged-pipeline dataflow runtime: one execution engine for every loop.
+
+The paper's core claim (Sections 4.2-4.3, Figure 1b) is that training *and*
+inference become fast when sample / slice / transfer / compute are expressed
+as overlapped pipeline stages with bounded prefetch.  This module makes that
+decomposition an explicit, reusable runtime instead of four hand-rolled
+loops: a pipeline is a list of :class:`Stage` objects connected by bounded
+queues with backpressure, sharing one lifecycle (start / drain / close),
+deterministic per-batch seeding, and first-class error propagation +
+cancellation.
+
+Every execution path in the repository runs on this engine:
+
+- ``SerialExecutor``   = depth-0 policy (all stages inline on the caller);
+- ``PipelinedExecutor``= fused :class:`PrepareStage` + depth-N prefetch;
+- ``StagedExecutor``   = split :class:`SampleStage` → :class:`SliceStage`
+  dataflow, each stage with its own workers;
+- ``DDPTrainer``       = one prepare pipeline per replica, compute driven
+  externally under the all-reduce barrier (:meth:`StagedPipeline.start`);
+- ``train.inference``  = the same pipelines with an inference compute stage.
+
+Determinism: batch ``index`` alone decides the RNG stream (``rng_entries``
+policy), and completed batches are delivered to the compute stage in index
+order regardless of worker count or scheduling, so serial, pipelined and
+staged runs of the same seed produce identical losses.
+
+Error handling: an exception inside a stage worker cancels the run — all
+queues close, workers abandon their in-flight envelopes (releasing pinned
+buffers back to the pool), the transfer stream is synchronized — and a
+:class:`StageError` naming the stage and failing batch index re-raises at
+the caller.  Exceptions raised by the caller-side compute function propagate
+unchanged (after the same drain), preserving the pre-runtime behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ..slicing.slicer import SlicedBatch, slice_batch_fused, slice_batch_reference
+from ..slicing.store import FeatureStore
+from ..telemetry import Counters
+from .device import Device, DeviceBatch, StreamEvent
+from .pinned import PinnedBuffer, PinnedBufferPool
+from .queues import BoundedOutputQueue, InputQueue, QueueClosed
+from .trace import Tracer
+
+__all__ = [
+    "EpochStats",
+    "Envelope",
+    "Stage",
+    "SampleStage",
+    "SliceStage",
+    "PrepareStage",
+    "TransferStage",
+    "ComputeStage",
+    "StageError",
+    "StagedPipeline",
+]
+
+
+# ----------------------------------------------------------------------
+# Accounting
+# ----------------------------------------------------------------------
+@dataclass
+class EpochStats:
+    """Timing breakdown of one epoch, produced by the runtime's single
+    accounting path (envelope timings + caller blocking waits).
+
+    ``sample_time``/``slice_time`` are *busy* times: on a depth-0 pipeline
+    they block the caller, on an overlapped pipeline they are aggregate
+    worker-thread time.  ``prep_wait_time``/``transfer_time``/``train_time``
+    are always measured on the caller thread.
+    """
+
+    epoch_time: float = 0.0
+    sample_time: float = 0.0  # sampling busy time
+    slice_time: float = 0.0  # slicing busy time
+    transfer_time: float = 0.0  # blocking transfer (or transfer-wait) time
+    train_time: float = 0.0  # device compute time
+    prep_wait_time: float = 0.0  # pipelined: main thread starved for batches
+    num_batches: int = 0
+    bytes_transferred: int = 0
+    losses: list[float] = field(default_factory=list)
+    #: True when sample/slice ran off the caller thread (their times are
+    #: busy, not blocking, and must not be counted in the blocking view).
+    overlapped: bool = False
+
+    @property
+    def batch_prep_time(self) -> float:
+        """Batch preparation = sampling + slicing (Table 1's first column)."""
+        return self.sample_time + self.slice_time
+
+    def breakdown(self) -> dict[str, float]:
+        """Fractions of epoch time per stage, from the caller's blocking
+        perspective (the Table 1 measurement).  Includes ``prep_wait`` so
+        overlapped-executor fractions sum to ~1.0 instead of silently
+        under-reporting starvation; off-thread prep busy time is excluded
+        from the blocking view.
+        """
+        total = max(self.epoch_time, 1e-12)
+        blocking_prep = 0.0 if self.overlapped else self.batch_prep_time
+        return {
+            "batch_prep": blocking_prep / total,
+            "transfer": self.transfer_time / total,
+            "train": self.train_time / total,
+            "prep_wait": self.prep_wait_time / total,
+        }
+
+
+class StageError(RuntimeError):
+    """A stage worker failed while processing a batch.
+
+    Carries the stage name and the failing batch index; the original
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, stage: str, batch_index: int, original: BaseException):
+        super().__init__(
+            f"stage {stage!r} failed on batch {batch_index}: {original}"
+        )
+        self.stage = stage
+        self.batch_index = batch_index
+        self.original = original
+
+
+# ----------------------------------------------------------------------
+# Envelope: the unit of dataflow
+# ----------------------------------------------------------------------
+@dataclass
+class Envelope:
+    """One mini-batch flowing through the pipeline, stage by stage."""
+
+    index: int
+    nodes: np.ndarray
+    rng: np.random.Generator
+    mfg: Any = None
+    sliced: Optional[SlicedBatch] = None
+    buffer: Optional[PinnedBuffer] = None
+    buffer_pool: Optional[PinnedBufferPool] = None
+    device_batch: Optional[DeviceBatch] = None
+    output: Any = None
+    #: per-stage busy seconds, merged into EpochStats by the driver
+    timings: dict[str, float] = field(default_factory=dict)
+    _transfer_event: Optional[StreamEvent] = None
+    _transfer_holder: Optional[list] = None
+
+    def payload(self):
+        """What the compute stage consumes: the device batch if a transfer
+        stage ran, else the host-side sliced batch."""
+        return self.device_batch if self.device_batch is not None else self.sliced
+
+    def release_buffer(self) -> None:
+        """Return the pinned slot (if any) to its pool, exactly once."""
+        if self.buffer is not None and self.buffer_pool is not None:
+            self.buffer_pool.release(self.buffer)
+        self.buffer = None
+
+    def wait_transfer(self, stats: Optional[EpochStats] = None) -> None:
+        """Block until the submitted device transfer completes."""
+        if self._transfer_event is None:
+            return
+        t0 = time.perf_counter()
+        self._transfer_event.wait()
+        if stats is not None:
+            stats.transfer_time += time.perf_counter() - t0
+        self.device_batch = self._transfer_holder[0]
+        self._transfer_event = None
+        self._transfer_holder = None
+
+
+@dataclass
+class PipelineContext:
+    """Shared services threaded uniformly through every stage."""
+
+    tracer: Tracer
+    counters: Counters
+    seed: int
+
+
+@contextmanager
+def _timed_span(ctx: PipelineContext, env: Envelope, name: str, resource: str):
+    """Record one tracer span *and* the envelope's busy time for ``name``."""
+    t0 = time.perf_counter()
+    with ctx.tracer.span(name, resource, env.index):
+        yield
+    env.timings[name] = env.timings.get(name, 0.0) + time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+class Stage(abc.ABC):
+    """One pipeline stage: a transformation applied to each envelope.
+
+    Stages are bound to a pipeline (receiving the shared context) and may
+    hold per-worker state created by :meth:`make_state` (e.g. one sampler
+    instance per worker thread).  :meth:`abandon` must release any resource
+    the stage attached to a cancelled envelope.
+    """
+
+    name = "stage"
+    #: worker threads for this stage in overlapped mode
+    workers = 1
+
+    def __init__(self) -> None:
+        self.ctx: Optional[PipelineContext] = None
+
+    def bind(self, ctx: PipelineContext) -> None:
+        self.ctx = ctx
+
+    def make_state(self, worker_id: int):
+        """Per-worker-thread state; called once per worker per run."""
+        return None
+
+    @abc.abstractmethod
+    def process(self, env: Envelope, state, resource: str) -> None:
+        """Transform ``env`` in place (runs on a worker or the caller)."""
+
+    def abandon(self, env: Envelope) -> None:
+        """Release resources held by a cancelled envelope."""
+        env.release_buffer()
+
+
+class SampleStage(Stage):
+    """Multi-hop neighborhood sampling (the paper's first pipeline stage)."""
+
+    name = "sample"
+
+    def __init__(self, sampler_factory: Callable[[], Any], workers: int = 1):
+        super().__init__()
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.sampler_factory = sampler_factory
+        self.workers = workers
+
+    def make_state(self, worker_id: int):
+        sampler = self.sampler_factory()
+        attach = getattr(sampler, "attach_counters", None)
+        if attach is not None:
+            attach(self.ctx.counters)
+        return sampler
+
+    def process(self, env: Envelope, state, resource: str) -> None:
+        with _timed_span(self.ctx, env, "sample", resource):
+            env.mfg = state.sample(env.nodes, env.rng)
+
+
+class SliceStage(Stage):
+    """Feature/label slicing into (optionally pinned) staging memory.
+
+    ``reference=True`` keeps the baseline's double-copy semantics
+    (Section 4.2's multiprocessing analogue) — the SerialExecutor policy;
+    otherwise the fused single-gather path is used, writing straight into a
+    pinned slot when the batch fits the pool.
+    """
+
+    name = "slice"
+
+    def __init__(
+        self,
+        store: FeatureStore,
+        pinned_pool: Optional[PinnedBufferPool] = None,
+        reference: bool = False,
+        workers: int = 1,
+    ):
+        super().__init__()
+        self.store = store
+        self.pinned_pool = pinned_pool
+        self.reference = reference
+        self.workers = workers
+
+    def process(self, env: Envelope, state, resource: str) -> None:
+        with _timed_span(self.ctx, env, "slice", resource):
+            if self.reference:
+                env.sliced = slice_batch_reference(self.store, env.mfg)
+                return
+            pool = self.pinned_pool
+            mfg = env.mfg
+            if pool is not None and (
+                len(mfg.n_id) <= pool.max_rows and mfg.batch_size <= pool.max_batch
+            ):
+                buffer = pool.acquire()
+                env.buffer = buffer
+                env.buffer_pool = pool
+                env.sliced = slice_batch_fused(
+                    self.store,
+                    mfg,
+                    xs_out=buffer.features,
+                    ys_out=buffer.labels,
+                    pinned_slot=buffer.slot,
+                    counters=self.ctx.counters,
+                )
+            else:
+                if pool is not None:
+                    self.ctx.counters.inc("pool_overflow_batches")
+                env.sliced = slice_batch_fused(
+                    self.store, mfg, counters=self.ctx.counters
+                )
+
+
+class PrepareStage(Stage):
+    """Fused sample + pinned slice: one worker owns a batch end-to-end.
+
+    This is Section 4.2's batch-preparation design (and PR 1's arena
+    sampler + fused pinned slicing) expressed as a single stage; it records
+    separate ``sample`` and ``slice`` spans so accounting stays uniform
+    with the split-stage pipeline.
+    """
+
+    name = "prepare"
+
+    def __init__(
+        self,
+        sampler_factory: Callable[[], Any],
+        store: FeatureStore,
+        pinned_pool: Optional[PinnedBufferPool] = None,
+        workers: int = 1,
+    ):
+        super().__init__()
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.sampler_factory = sampler_factory
+        self.workers = workers
+        self._slice = SliceStage(store, pinned_pool=pinned_pool)
+        self._sample = SampleStage(sampler_factory)
+
+    def bind(self, ctx: PipelineContext) -> None:
+        super().bind(ctx)
+        self._slice.bind(ctx)
+        self._sample.bind(ctx)
+
+    def make_state(self, worker_id: int):
+        return self._sample.make_state(worker_id)
+
+    def process(self, env: Envelope, state, resource: str) -> None:
+        self._sample.process(env, state, resource)
+        self._slice.process(env, None, resource)
+
+
+class TransferStage(Stage):
+    """Host-to-device copy on the dedicated transfer stream.
+
+    In overlapped mode the driver submits transfers in arrival order (so
+    pinned slots recycle as soon as the DMA copy lands, never deadlocking
+    behind in-order delivery) and waits for completion just before compute.
+    """
+
+    name = "transfer"
+
+    def __init__(self, device: Device):
+        super().__init__()
+        self.device = device
+
+    def submit(self, env: Envelope) -> None:
+        """Enqueue the copy on the transfer stream; completion releases the
+        pinned slot even before training consumes the device batch."""
+        holder: list[Optional[DeviceBatch]] = [None]
+        ctx = self.ctx
+
+        def work() -> None:
+            try:
+                with _timed_span(ctx, env, "transfer", "dma"):
+                    holder[0] = self.device.transfer_batch(env.sliced, env.index)
+            finally:
+                env.release_buffer()
+
+        env._transfer_holder = holder
+        env._transfer_event = self.device.transfer_stream.submit(work)
+
+    def process(self, env: Envelope, state, resource: str) -> None:
+        # Depth-0 (inline) policy: blocking copy on the caller thread.
+        with _timed_span(self.ctx, env, "transfer", "dma"):
+            env.device_batch = self.device.transfer_batch(env.sliced, env.index)
+        env.release_buffer()
+
+
+class ComputeStage(Stage):
+    """The sink stage: runs the caller's function on the caller thread.
+
+    ``fn`` is bound per-epoch by :meth:`StagedPipeline.run_epoch`; float
+    results are collected as losses, array results (inference) are handed
+    to the ``on_result`` callback.
+    """
+
+    name = "train"
+
+    def __init__(self, fn: Optional[Callable] = None, name: str = "train"):
+        super().__init__()
+        self.fn = fn
+        self.name = name
+
+    def process(self, env: Envelope, state, resource: str) -> None:
+        with _timed_span(self.ctx, env, self.name, resource):
+            env.output = self.fn(env.payload())
+
+
+# ----------------------------------------------------------------------
+# The pipeline engine
+# ----------------------------------------------------------------------
+class StagedPipeline:
+    """A list of stages connected by bounded queues with backpressure.
+
+    Parameters
+    ----------
+    stages:
+        Worker stages in dataflow order, optionally followed by one
+        :class:`TransferStage` and at most one final :class:`ComputeStage`.
+    prefetch_depth:
+        0 runs every stage inline on the caller (the serial policy);
+        >= 1 gives each worker stage its own threads connected by
+        ``BoundedOutputQueue(prefetch_depth)`` — the bound is the paper's
+        pinned-memory backpressure.
+    rng_entries:
+        ``index -> list[int]`` seeding policy; each batch's generator is
+        ``default_rng(SeedSequence(rng_entries(index)))`` so results are
+        independent of which worker runs which batch.  Defaults to
+        ``[seed, index]``.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        *,
+        prefetch_depth: int = 0,
+        seed: int = 0,
+        rng_entries: Optional[Callable[[int], Sequence[int]]] = None,
+        tracer: Optional[Tracer] = None,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        if not stages:
+            raise ValueError("need at least one stage")
+        if prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
+        self.prefetch_depth = prefetch_depth
+        self.seed = seed
+        self.rng_entries = rng_entries or (lambda index: [seed, index])
+        self.ctx = PipelineContext(
+            tracer=tracer or Tracer(enabled=False),
+            counters=counters if counters is not None else Counters(),
+            seed=seed,
+        )
+
+        stages = list(stages)
+        self.compute_stage: Optional[ComputeStage] = None
+        self.transfer_stage: Optional[TransferStage] = None
+        if stages and isinstance(stages[-1], ComputeStage):
+            self.compute_stage = stages.pop()
+        if stages and isinstance(stages[-1], TransferStage):
+            self.transfer_stage = stages.pop()
+        for stage in stages:
+            if isinstance(stage, (TransferStage, ComputeStage)):
+                raise ValueError(
+                    "TransferStage/ComputeStage must come last, in that order"
+                )
+        self.worker_stages = stages
+        for stage in self._all_stages():
+            stage.bind(self.ctx)
+
+    # ------------------------------------------------------------------
+    def _all_stages(self) -> list[Stage]:
+        out = list(self.worker_stages)
+        if self.transfer_stage is not None:
+            out.append(self.transfer_stage)
+        if self.compute_stage is not None:
+            out.append(self.compute_stage)
+        return out
+
+    def _make_envelope(self, index: int, nodes: np.ndarray) -> Envelope:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(list(self.rng_entries(index)))
+        )
+        return Envelope(index=index, nodes=nodes, rng=rng)
+
+    def _abandon(self, env: Envelope) -> None:
+        for stage in self.worker_stages:
+            stage.abandon(env)
+        self.ctx.counters.inc("pipeline_abandoned_batches")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, batches: Sequence[np.ndarray], stats: Optional[EpochStats] = None):
+        """Start the worker stages over ``batches``; returns a
+        :class:`PipelineRun` yielding envelopes in batch-index order with
+        their transfers submitted (call :meth:`Envelope.wait_transfer`
+        before consuming the device batch).
+
+        At depth 0 the run processes each batch inline on demand.
+        """
+        stats = stats if stats is not None else EpochStats()
+        if self.prefetch_depth == 0:
+            return _InlineRun(self, batches, stats)
+        return _OverlappedRun(self, batches, stats)
+
+    def run_epoch(
+        self,
+        batches: Sequence[np.ndarray],
+        compute_fn: Optional[Callable] = None,
+        on_result: Optional[Callable[[Envelope], None]] = None,
+    ) -> EpochStats:
+        """Drive a full epoch through every stage and account it.
+
+        The compute stage runs on the caller thread; with prefetch the
+        next batch's transfer is always in flight while the current one
+        trains (the Figure 1(b) overlap).
+        """
+        if self.compute_stage is None:
+            raise ValueError("run_epoch requires a final ComputeStage")
+        if compute_fn is not None:
+            self.compute_stage.fn = compute_fn
+        if self.compute_stage.fn is None:
+            raise ValueError("no compute function bound")
+
+        stats = EpochStats(overlapped=self.prefetch_depth > 0)
+        device = self.transfer_stage.device if self.transfer_stage else None
+        bytes_at_start = device.bytes_transferred if device else 0
+        epoch_start = time.perf_counter()
+        run = self.start(batches, stats)
+        try:
+            # Software pipelining: acquire (and submit) batch i+1 before
+            # computing batch i, so its transfer overlaps this compute.
+            pending = run.next_envelope()
+            while pending is not None:
+                upcoming = run.next_envelope()
+                pending.wait_transfer(stats)
+                self.compute_stage.process(pending, None, "gpu")
+                self._finish(pending, stats, on_result)
+                pending = upcoming
+        except BaseException:
+            run.close()
+            if device is not None:
+                device.transfer_stream.synchronize()
+            raise
+        run.drain()
+        stats.epoch_time = time.perf_counter() - epoch_start
+        if device is not None:
+            stats.bytes_transferred = device.bytes_transferred - bytes_at_start
+        return stats
+
+    def _finish(
+        self,
+        env: Envelope,
+        stats: EpochStats,
+        on_result: Optional[Callable[[Envelope], None]],
+    ) -> None:
+        env.release_buffer()  # no-op when a transfer already recycled it
+        stats.num_batches += 1
+        stats.sample_time += env.timings.get("sample", 0.0)
+        stats.slice_time += env.timings.get("slice", 0.0)
+        if not self.prefetch_depth:
+            stats.transfer_time += env.timings.get("transfer", 0.0)
+        stats.train_time += env.timings.get(self.compute_stage.name, 0.0)
+        if isinstance(env.output, (int, float)):
+            stats.losses.append(float(env.output))
+        if on_result is not None:
+            on_result(env)
+        self.ctx.counters.inc("pipeline_batches")
+
+
+class _InlineRun:
+    """Depth-0 policy: every stage executes on the caller, in order."""
+
+    def __init__(self, pipeline: StagedPipeline, batches, stats: EpochStats):
+        self.pipeline = pipeline
+        self._iter = iter(
+            pipeline._make_envelope(i, nodes) for i, nodes in enumerate(batches)
+        )
+        # Per-stage state (e.g. the sampler instance) is created lazily,
+        # once per run, exactly like one worker thread would.
+        self._states: dict[int, Any] = {}
+
+    def next_envelope(self) -> Optional[Envelope]:
+        env = next(self._iter, None)
+        if env is None:
+            return None
+        pipeline = self.pipeline
+        for stage in pipeline.worker_stages:
+            stage.process(env, self._state_for(stage), "cpu:0")
+        if pipeline.transfer_stage is not None:
+            pipeline.transfer_stage.process(env, None, "dma")
+        return env
+
+    def _state_for(self, stage: Stage):
+        key = id(stage)
+        if key not in self._states:
+            self._states[key] = stage.make_state(0)
+        return self._states[key]
+
+    def drain(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class _OverlappedRun:
+    """Depth-N policy: worker threads per stage, bounded queues between.
+
+    Input is a dynamically load-balanced queue (Section 4.2); each worker
+    stage pushes into a ``BoundedOutputQueue(prefetch_depth)``.  The caller
+    receives envelopes in index order; out-of-order arrivals have their
+    transfers submitted immediately (arrival order) so pinned slots recycle
+    without waiting on reordering.
+    """
+
+    def __init__(self, pipeline: StagedPipeline, batches, stats: EpochStats):
+        self.pipeline = pipeline
+        self.stats = stats
+        self.total = len(batches)
+        self.error: Optional[StageError] = None
+        self._cancelled = False
+        self._expected = 0
+        self._pending: dict[int, Envelope] = {}
+        self._upstream_done = False
+        self._lock = threading.Lock()
+
+        self.input_queue: InputQueue = InputQueue(
+            [pipeline._make_envelope(i, nodes) for i, nodes in enumerate(batches)]
+        )
+        self.queues: list[BoundedOutputQueue] = [
+            BoundedOutputQueue(max(pipeline.prefetch_depth, 1))
+            for _ in pipeline.worker_stages
+        ]
+        self.threads: list[threading.Thread] = []
+        self._closers: list[threading.Thread] = []
+        for si, stage in enumerate(pipeline.worker_stages):
+            stage_threads = [
+                threading.Thread(
+                    target=self._worker,
+                    args=(si, stage, wid),
+                    daemon=True,
+                    name=f"{stage.name}-{wid}",
+                )
+                for wid in range(stage.workers)
+            ]
+            self.threads.extend(stage_threads)
+            for thread in stage_threads:
+                thread.start()
+            # Close stage si's output once all its workers have exited, so
+            # the next stage (or the caller) observes end-of-stream.
+            closer = threading.Thread(
+                target=self._close_after,
+                args=(stage_threads, self.queues[si]),
+                daemon=True,
+                name=f"close-{stage.name}",
+            )
+            closer.start()
+            self._closers.append(closer)
+
+    @staticmethod
+    def _close_after(threads: list[threading.Thread], queue: BoundedOutputQueue):
+        for thread in threads:
+            thread.join()
+        queue.close()
+
+    def _worker(self, stage_index: int, stage: Stage, worker_id: int) -> None:
+        state = stage.make_state(worker_id)
+        resource = f"cpu:{worker_id}" if stage_index == 0 else f"cpu:{stage.name}{worker_id}"
+        upstream = self.input_queue if stage_index == 0 else self.queues[stage_index - 1]
+        downstream = self.queues[stage_index]
+        while True:
+            if self._cancelled:
+                return
+            if stage_index == 0:
+                env = upstream.get()
+                if env is None:
+                    return
+            else:
+                try:
+                    env = upstream.get()
+                except QueueClosed:
+                    return
+            try:
+                stage.process(env, state, resource)
+            except BaseException as exc:
+                stage.abandon(env)
+                self._fail(StageError(stage.name, env.index, exc))
+                return
+            try:
+                downstream.put(env)
+            except QueueClosed:
+                self.pipeline._abandon(env)
+                return
+
+    def _fail(self, error: StageError) -> None:
+        with self._lock:
+            if self.error is None:
+                self.error = error
+        self.pipeline.ctx.counters.inc("pipeline_stage_errors")
+        self.cancel()
+
+    # ------------------------------------------------------------------
+    def next_envelope(self) -> Optional[Envelope]:
+        """Next envelope in index order (transfer submitted), or None at
+        end of stream.  Raises the recorded :class:`StageError` after the
+        pipeline has fully drained."""
+        final_queue = self.queues[-1]
+        transfer = self.pipeline.transfer_stage
+        while True:
+            if self._expected in self._pending:
+                env = self._pending.pop(self._expected)
+                self._expected += 1
+                return env
+            if self._upstream_done:
+                if self.error is not None:
+                    # Cancelled run: don't hand stragglers to compute.
+                    # Submitted transfers still complete on the stream
+                    # (releasing their pinned slots); drain() re-raises.
+                    for env in self._pending.values():
+                        try:
+                            env.wait_transfer()
+                        except BaseException:
+                            pass  # the StageError is the primary failure
+                    self._pending.clear()
+                if self._pending:
+                    # Batch indices are dense, so a gap only appears under
+                    # cancellation; normal completion empties the map via
+                    # the in-order branch above.
+                    index = min(self._pending)
+                    self._expected = index + 1
+                    return self._pending.pop(index)
+                self.drain()
+                return None
+            t0 = time.perf_counter()
+            try:
+                env = final_queue.get()
+            except QueueClosed:
+                env = None
+            self.stats.prep_wait_time += time.perf_counter() - t0
+            if env is None:
+                self._upstream_done = True
+                continue
+            if transfer is not None:
+                # Submit in arrival order: pinned slots free as soon as
+                # each DMA copy completes, independent of delivery order.
+                transfer.submit(env)
+            self._pending[env.index] = env
+
+    def drain(self) -> None:
+        """Wait for worker shutdown and re-raise any stage error."""
+        for thread in self.threads:
+            thread.join(timeout=60)
+        for closer in self._closers:
+            closer.join(timeout=60)
+        if self.error is not None:
+            if self.pipeline.transfer_stage is not None:
+                self.pipeline.transfer_stage.device.transfer_stream.synchronize()
+            raise self.error
+
+    def cancel(self) -> None:
+        """Close every queue; workers abandon in-flight envelopes."""
+        self._cancelled = True
+        for queue in self.queues:
+            queue.close()
+        # Drop work that never entered the pipeline.
+        while True:
+            env = self.input_queue.get()
+            if env is None:
+                break
+        self.pipeline.ctx.counters.inc("pipeline_cancelled")
+
+    def close(self) -> None:
+        """Cancel, then reclaim every leftover envelope's resources."""
+        self.cancel()
+        for thread in self.threads:
+            thread.join(timeout=60)
+        for queue in self.queues:
+            while True:
+                try:
+                    env = queue.get(timeout=1)
+                except (QueueClosed, TimeoutError):
+                    break
+                self.pipeline._abandon(env)
+        for env in self._pending.values():
+            # Transfers were already submitted for pending envelopes; the
+            # stream's completion callback releases their pinned slots.
+            try:
+                env.wait_transfer()
+            except BaseException:
+                pass  # close() must always reclaim, never raise
+        self._pending.clear()

@@ -23,11 +23,12 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..sampling.base import NeighborSamplerBase
-from ..slicing.slicer import SlicedBatch, slice_batch_fused
+from ..slicing.slicer import SlicedBatch
 from ..slicing.store import FeatureStore
 from ..telemetry import Counters
 from .pinned import PinnedBuffer, PinnedBufferPool
 from .queues import BoundedOutputQueue, InputQueue, QueueClosed
+from .stages import Envelope, PipelineContext, SampleStage, SliceStage
 from .trace import Tracer
 
 __all__ = ["PreparedBatch", "BatchPreparationPool", "estimate_max_rows"]
@@ -88,6 +89,14 @@ class BatchPreparationPool:
         #: (e.g. the arena-backed FastNeighborSampler) report into it too.
         self.counters = counters if counters is not None else Counters()
         self.overflow_count = 0  # batches that didn't fit a pinned slot
+        # The prepare body is the runtime's stage implementation — one
+        # definition of sampling + fused pinned slicing, shared with
+        # every staged pipeline.
+        ctx = PipelineContext(tracer=self.tracer, counters=self.counters, seed=seed)
+        self._sample_stage = SampleStage(sampler_factory)
+        self._slice_stage = SliceStage(store, pinned_pool=pinned_pool)
+        self._sample_stage.bind(ctx)
+        self._slice_stage.bind(ctx)
 
     def _prepare_one(
         self,
@@ -99,31 +108,16 @@ class BatchPreparationPool:
         resource = f"cpu:{worker_id}"
         # Per-batch-index RNG: results are independent of which worker
         # runs which batch, keeping epochs reproducible under scheduling.
-        rng = np.random.default_rng(np.random.SeedSequence([self.seed, index]))
-        with self.tracer.span("sample", resource, index):
-            mfg = sampler.sample(nodes, rng)
-        buffer: Optional[PinnedBuffer] = None
-        if self.pinned_pool is not None and (
-            len(mfg.n_id) <= self.pinned_pool.max_rows
-            and mfg.batch_size <= self.pinned_pool.max_batch
-        ):
-            buffer = self.pinned_pool.acquire()
-            with self.tracer.span("slice", resource, index):
-                sliced = slice_batch_fused(
-                    self.store,
-                    mfg,
-                    xs_out=buffer.features,
-                    ys_out=buffer.labels,
-                    pinned_slot=buffer.slot,
-                    counters=self.counters,
-                )
-        else:
-            if self.pinned_pool is not None:
-                self.overflow_count += 1
-                self.counters.inc("pool_overflow_batches")
-            with self.tracer.span("slice", resource, index):
-                sliced = slice_batch_fused(self.store, mfg, counters=self.counters)
-        return PreparedBatch(index=index, sliced=sliced, buffer=buffer)
+        env = Envelope(
+            index=index,
+            nodes=nodes,
+            rng=np.random.default_rng(np.random.SeedSequence([self.seed, index])),
+        )
+        self._sample_stage.process(env, sampler, resource)
+        self._slice_stage.process(env, None, resource)
+        if self.pinned_pool is not None and env.buffer is None:
+            self.overflow_count += 1
+        return PreparedBatch(index=index, sliced=env.sliced, buffer=env.buffer)
 
     def run(
         self, batches: Sequence[np.ndarray]

@@ -24,14 +24,25 @@ class FeatureStore:
     def __init__(
         self,
         features: np.ndarray,
-        labels: np.ndarray,
-        half_precision: bool = True,
+        labels: Optional[np.ndarray] = None,
+        half_precision: Optional[bool] = True,
     ) -> None:
+        """``half_precision=None`` keeps the caller's feature dtype as-is
+        (required when a store wraps arrays whose exact values must be
+        preserved, e.g. the inference and DDP paths).  ``labels=None``
+        installs an all-zero placeholder so label-free consumers
+        (inference) can still flow through the slicing/transfer stages.
+        """
         if features.ndim != 2:
             raise ValueError("features must be 2-D (nodes x channels)")
+        if labels is None:
+            labels = np.zeros(features.shape[0], dtype=np.int64)
         if labels.shape != (features.shape[0],):
             raise ValueError("labels must be 1-D with one entry per node")
-        dtype = np.float16 if half_precision else np.float32
+        if half_precision is None:
+            dtype = features.dtype
+        else:
+            dtype = np.float16 if half_precision else np.float32
         # ascontiguousarray enforces row-major layout (optimization (i)).
         self.features = np.ascontiguousarray(features, dtype=dtype)
         self.labels = np.ascontiguousarray(labels, dtype=np.int64)

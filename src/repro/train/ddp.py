@@ -22,9 +22,12 @@ import numpy as np
 from ..datasets.synthetic import Dataset
 from ..models.architectures import build_model
 from ..nn.optim import Adam
-from ..sampling.base import BatchIterator
+from ..runtime.stages import PrepareStage, StagedPipeline
 from ..sampling.fast_sampler import FastNeighborSampler
+from ..slicing.slicer import SlicedBatch
+from ..slicing.store import FeatureStore
 from ..tensor import Tensor, functional as F
+from ..telemetry import Counters
 from .config import ExperimentConfig
 from .inference import sampled_inference
 from .metrics import accuracy
@@ -61,6 +64,7 @@ class DDPTrainer:
         config: ExperimentConfig,
         num_ranks: int = 2,
         seed: int = 0,
+        prefetch_depth: int = 2,
     ) -> None:
         if num_ranks < 1:
             raise ValueError("num_ranks must be >= 1")
@@ -68,6 +72,14 @@ class DDPTrainer:
         self.config = config
         self.num_ranks = num_ranks
         self.seed = seed
+        self.prefetch_depth = prefetch_depth
+        #: raw-dtype store shared by every rank's prepare pipeline
+        #: (half_precision=None keeps DDP numerics identical to slicing
+        #: the dataset arrays directly)
+        self.store = FeatureStore(
+            dataset.features, dataset.labels, half_precision=None
+        )
+        self.counters = Counters()
 
         # All replicas start from identical parameters (DDP broadcast).
         self.replicas = []
@@ -115,19 +127,40 @@ class DDPTrainer:
                     shards[rank].append(piece)
         return shards
 
-    def _rank_grads(
-        self, rank: int, nodes: np.ndarray, step_index: int
+    def _start_rank_run(
+        self,
+        rank: int,
+        batches: list[np.ndarray],
+        first_step: int = 0,
+        prefetch_depth: Optional[int] = None,
+    ):
+        """Start a prepare pipeline over ``batches`` for one replica.
+
+        Batch ``i`` of the run corresponds to global step ``first_step+i``
+        and is seeded ``[seed, 11, step, rank]`` — the DDP convention:
+        every (step, rank) pair owns one RNG stream regardless of which
+        thread prepares it or how the epoch is chunked.
+        """
+        depth = self.prefetch_depth if prefetch_depth is None else prefetch_depth
+        pipeline = StagedPipeline(
+            [PrepareStage(lambda r=rank: self.samplers[r], self.store)],
+            prefetch_depth=depth,
+            seed=self.seed,
+            rng_entries=lambda i: [self.seed, 11, first_step + i, rank],
+            counters=self.counters,
+        )
+        return pipeline.start(batches)
+
+    def _replica_step(
+        self, rank: int, sliced: SlicedBatch
     ) -> tuple[list[np.ndarray], float]:
+        """Forward/backward on one replica from a prepared batch."""
         model = self.replicas[rank]
         model.train()
-        rng = np.random.default_rng(
-            np.random.SeedSequence([self.seed, 11, step_index, rank])
-        )
-        mfg = self.samplers[rank].sample(nodes, rng)
-        x = Tensor(self.dataset.features[mfg.n_id].astype(np.float32))
-        y = self.dataset.labels[mfg.target_ids()]
+        x = Tensor(np.asarray(sliced.xs, dtype=np.float32))
+        y = sliced.ys
         model.zero_grad()
-        loss = F.nll_loss(model(x, mfg.adjs), y)
+        loss = F.nll_loss(model(x, sliced.mfg.adjs), y)
         loss.backward()
         grads = [
             p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
@@ -135,10 +168,42 @@ class DDPTrainer:
         ]
         return grads, loss.item()
 
+    def _rank_grads(
+        self, rank: int, nodes: np.ndarray, step_index: int
+    ) -> tuple[list[np.ndarray], float]:
+        """Gradients for one (rank, step) pair, prepared inline (depth 0)."""
+        run = self._start_rank_run(
+            rank, [nodes], first_step=step_index, prefetch_depth=0
+        )
+        env = run.next_envelope()
+        run.drain()
+        return self._replica_step(rank, env.sliced)
+
     def train_epoch(self, epoch: int = 0) -> list[DDPStepStats]:
-        """One epoch of synchronized data-parallel steps."""
+        """One epoch of synchronized data-parallel steps.
+
+        Each rank's batches are prepared by its own staged pipeline
+        (sampling + slicing run ahead under bounded prefetch); the
+        all-reduce barrier below consumes them in strict step order, so
+        replica updates are identical to fully serial execution.
+        """
         shards = self._rank_shards(epoch)
         num_steps = max(len(s) for s in shards)
+        runs = [
+            self._start_rank_run(rank, shards[rank])
+            for rank in range(self.num_ranks)
+        ]
+        try:
+            history = self._drive_steps(shards, num_steps, runs)
+        except BaseException:
+            for run in runs:
+                run.close()
+            raise
+        for run in runs:
+            run.drain()
+        return history
+
+    def _drive_steps(self, shards, num_steps: int, runs) -> list[DDPStepStats]:
         history: list[DDPStepStats] = []
         for step in range(num_steps):
             all_grads: list[list[np.ndarray]] = []
@@ -146,7 +211,8 @@ class DDPTrainer:
             for rank in range(self.num_ranks):
                 if step >= len(shards[rank]):
                     continue  # rank has no batch this step (tail of epoch)
-                grads, loss = self._rank_grads(rank, shards[rank][step], step)
+                env = runs[rank].next_envelope()
+                grads, loss = self._replica_step(rank, env.sliced)
                 all_grads.append(grads)
                 losses.append(loss)
             # All-reduce: average gradients across participating ranks.
@@ -181,7 +247,7 @@ class DDPTrainer:
         return accuracy(log_probs, self.dataset.labels[nodes])
 
     def distributed_inference(
-        self, nodes: np.ndarray, seed: int = 1234
+        self, nodes: np.ndarray, seed: int = 1234, executor: str = "serial"
     ) -> np.ndarray:
         """Sampled inference sharded across ranks (Section 5: "mini-batch
         inference ... can be executed in a distributed data parallel
@@ -205,6 +271,7 @@ class DDPTrainer:
                     list(self.config.infer_fanouts),
                     batch_size=self.config.batch_size,
                     seed=seed + rank,
+                    executor=executor,
                 )
             )
         return np.concatenate(pieces, axis=0)

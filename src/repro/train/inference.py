@@ -25,9 +25,23 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..models.architectures import GAT, GIN, MLP, SAGERI, GraphSAGE, _SampledGNN
 from ..nn.module import Module
+from ..runtime.device import Device, DeviceBatch
+from ..runtime.pinned import PinnedBufferPool
+from ..runtime.stages import (
+    ComputeStage,
+    PrepareStage,
+    SampleStage,
+    SliceStage,
+    StagedPipeline,
+    TransferStage,
+)
+from ..runtime.trace import Tracer
+from ..runtime.workers import estimate_max_rows
 from ..sampling.base import BatchIterator, NeighborSamplerBase
 from ..sampling.fast_sampler import FastNeighborSampler
+from ..slicing.store import FeatureStore
 from ..tensor import Tensor, functional as F, no_grad
+from ..telemetry import Counters
 
 __all__ = ["sampled_inference", "layerwise_full_inference", "LayerwiseResult"]
 
@@ -41,28 +55,104 @@ def sampled_inference(
     batch_size: int = 1024,
     seed: int = 0,
     sampler: Optional[NeighborSamplerBase] = None,
+    executor: str = "serial",
+    device: Optional[Device] = None,
+    num_workers: int = 2,
+    prefetch_depth: int = 4,
+    pinned_slots: int = 4,
+    tracer: Optional[Tracer] = None,
+    counters: Optional[Counters] = None,
 ) -> np.ndarray:
     """Predict log-probabilities for ``nodes`` with one-shot sampling.
 
     Reuses the training code path (model.forward over sampled MFGs), the
-    simplification benefit Section 5 emphasizes.
+    simplification benefit Section 5 emphasizes — and, like training, it
+    runs on the staged-pipeline runtime:
+
+    - ``executor="serial"`` — depth-0 policy, every stage inline (the
+      conventional inference loop);
+    - ``executor="pipelined"`` — fused prepare workers + bounded prefetch,
+      Section 5.4's pipelined inference;
+    - ``executor="staged"`` — split sample/slice stages, same prefetch.
+
+    When a :class:`~repro.runtime.device.Device` is given, batches move
+    through a transfer stage (pinned staging buffers, transfer stream);
+    the overlapped executors then hide transfer+prepare behind compute.
+    Results are byte-identical across executors: batch seeds depend only
+    on the batch's node offset (``[seed, cursor]``) and completed batches
+    are delivered in index order.
     """
+    if executor not in ("serial", "pipelined", "staged"):
+        raise ValueError(f"unknown executor {executor!r}")
     model.eval()
-    sampler = sampler or FastNeighborSampler(graph, list(fanouts))
     nodes = np.asarray(nodes, dtype=np.int64)
+    # half_precision=None: wrap the caller's array without changing dtype
+    # or values; labels are a placeholder (inference consumes none).
+    store = FeatureStore(features, half_precision=None)
+    if sampler is not None:
+        factory = lambda: sampler  # noqa: E731 - shared instance: 1 worker
+        num_workers = 1
+    else:
+        factory = lambda: FastNeighborSampler(graph, list(fanouts))  # noqa: E731
+
+    overlapped = executor != "serial"
+    pinned_pool = None
+    shared_counters = counters if counters is not None else Counters()
+    if device is not None and overlapped:
+        max_rows = estimate_max_rows(factory().fanouts, batch_size, store.num_nodes)
+        pinned_pool = PinnedBufferPool(
+            num_slots=pinned_slots,
+            max_rows=max_rows,
+            num_features=store.num_features,
+            max_batch=batch_size,
+            feature_dtype=store.feature_dtype,
+            counters=shared_counters,
+        )
+
+    stages: list = []
+    if executor == "pipelined":
+        stages.append(
+            PrepareStage(factory, store, pinned_pool=pinned_pool, workers=num_workers)
+        )
+    else:
+        stages.append(SampleStage(factory, workers=num_workers))
+        stages.append(SliceStage(store, pinned_pool=pinned_pool))
+    if device is not None:
+        stages.append(TransferStage(device))
+    stages.append(ComputeStage(name="infer"))
+
+    def infer_fn(payload) -> np.ndarray:
+        if isinstance(payload, DeviceBatch):
+            xs, mfg = payload.xs.data, payload.mfg
+        else:
+            xs, mfg = payload.xs, payload.mfg
+        x = Tensor(np.asarray(xs, dtype=np.float32))
+        return model(x, mfg.adjs).data
+
     out: Optional[np.ndarray] = None
-    cursor = 0
+
+    def on_result(env) -> None:
+        nonlocal out
+        log_probs = env.output
+        if out is None:
+            out = np.empty((len(nodes), log_probs.shape[1]), dtype=np.float32)
+        start = env.index * batch_size
+        out[start : start + len(env.nodes)] = log_probs
+
+    pipeline = StagedPipeline(
+        stages,
+        prefetch_depth=prefetch_depth if overlapped else 0,
+        seed=seed,
+        # The batch's node offset (not its index) keys the RNG stream,
+        # preserving the historical cursor-based seeding.
+        rng_entries=lambda index: [seed, index * batch_size],
+        tracer=tracer,
+        counters=shared_counters,
+    )
+    batches = list(BatchIterator(nodes, batch_size, shuffle=False))
     with no_grad():
-        for batch in BatchIterator(nodes, batch_size, shuffle=False):
-            rng = np.random.default_rng(np.random.SeedSequence([seed, cursor]))
-            mfg = sampler.sample(batch, rng)
-            x = Tensor(features[mfg.n_id].astype(np.float32))
-            log_probs = model(x, mfg.adjs).data
-            if out is None:
-                out = np.empty((len(nodes), log_probs.shape[1]), dtype=np.float32)
-            out[cursor : cursor + len(batch)] = log_probs
-            cursor += len(batch)
-    assert out is not None and cursor == len(nodes)
+        pipeline.run_epoch(batches, infer_fn, on_result=on_result)
+    assert out is not None and out.shape[0] == len(nodes)
     return out
 
 
@@ -86,22 +176,38 @@ def _propagate_full(
     """Apply one conv over full neighborhoods for every node, batched.
 
     The single-hop full-fanout sampler produces exact (unsampled) bipartite
-    blocks, so this is the conventional layer-wise inference kernel.
+    blocks, so this is the conventional layer-wise inference kernel.  Runs
+    on the depth-0 staged pipeline like every other execution path (full
+    fanout draws nothing from the RNG, so seeding is irrelevant here).
     """
-    sampler = FastNeighborSampler(graph, [None])
-    rng = np.random.default_rng(0)  # unused: full fanout draws nothing
+    store = FeatureStore(h_in, half_precision=None)
     h_out: Optional[np.ndarray] = None
-    for batch in BatchIterator(
-        np.arange(graph.num_nodes), batch_size, shuffle=False
-    ):
-        mfg = sampler.sample(batch, rng)
-        adj = mfg.adjs[0]
-        x_src = Tensor(h_in[mfg.n_id].astype(np.float32))
+
+    def layer_fn(sliced) -> np.ndarray:
+        adj = sliced.mfg.adjs[0]
+        x_src = Tensor(np.asarray(sliced.xs, dtype=np.float32))
         x_dst = x_src[: adj.size[1]]
-        out = apply_layer((x_src, x_dst), adj.edge_index).data
+        return apply_layer((x_src, x_dst), adj.edge_index).data
+
+    def on_result(env) -> None:
+        nonlocal h_out
+        out = env.output
         if h_out is None:
             h_out = np.empty((graph.num_nodes, out.shape[1]), dtype=np.float32)
-        h_out[batch] = out
+        h_out[env.nodes] = out
+
+    pipeline = StagedPipeline(
+        [
+            SampleStage(lambda: FastNeighborSampler(graph, [None])),
+            SliceStage(store),
+            ComputeStage(name="infer"),
+        ],
+        prefetch_depth=0,
+    )
+    batches = list(
+        BatchIterator(np.arange(graph.num_nodes), batch_size, shuffle=False)
+    )
+    pipeline.run_epoch(batches, layer_fn, on_result=on_result)
     assert h_out is not None
     return h_out
 

@@ -16,7 +16,12 @@ from ..models.architectures import build_model
 from ..nn.module import Module
 from ..nn.optim import Adam, Optimizer
 from ..runtime.device import Device, DeviceBatch
-from ..runtime.pipeline import EpochStats, PipelinedExecutor, SerialExecutor
+from ..runtime.pipeline import (
+    EpochStats,
+    PipelinedExecutor,
+    SerialExecutor,
+    StagedExecutor,
+)
 from ..runtime.trace import Tracer
 from ..sampling.base import BatchIterator, NeighborSamplerBase
 from ..sampling.fast_sampler import FastNeighborSampler
@@ -56,9 +61,13 @@ class Trainer:
     config:
         Hyperparameters (Table 5 row).
     executor:
-        ``"serial"`` — the baseline PyG workflow; ``"pipelined"`` — SALIENT.
+        ``"serial"`` — the baseline PyG workflow; ``"pipelined"`` — SALIENT
+        (fused prepare workers); ``"staged"`` — split sample/slice stages.
     sampler:
         ``"fast"`` (SALIENT's sampler) or ``"pyg"`` (the reference one).
+    infer_executor:
+        Executor policy for :meth:`predict`/:meth:`evaluate` (Section 5.4's
+        pipelined inference when set to ``"pipelined"``/``"staged"``).
     """
 
     def __init__(
@@ -71,16 +80,21 @@ class Trainer:
         num_workers: int = 2,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
+        infer_executor: str = "serial",
     ) -> None:
-        if executor not in ("serial", "pipelined"):
+        if executor not in ("serial", "pipelined", "staged"):
             raise ValueError(f"unknown executor {executor!r}")
         if sampler not in ("fast", "pyg"):
             raise ValueError(f"unknown sampler {sampler!r}")
+        if infer_executor not in ("serial", "pipelined", "staged"):
+            raise ValueError(f"unknown infer_executor {infer_executor!r}")
         self.dataset = dataset
         self.config = config
         self.seed = seed
         self.device = device or Device()
         self.tracer = tracer or Tracer(enabled=False)
+        self.infer_executor = infer_executor
+        self.num_workers = num_workers
         self.store = FeatureStore(dataset.features, dataset.labels)
 
         model_rng = np.random.default_rng(np.random.SeedSequence([seed, 101]))
@@ -109,7 +123,10 @@ class Trainer:
                 seed=seed,
             )
         else:
-            self._executor = PipelinedExecutor(
+            executor_cls = (
+                PipelinedExecutor if executor == "pipelined" else StagedExecutor
+            )
+            self._executor = executor_cls(
                 sampler_factory=self._sampler_factory,
                 store=self.store,
                 device=self.device,
@@ -158,6 +175,7 @@ class Trainer:
     ) -> np.ndarray:
         """Sampled-inference log-probabilities for ``nodes``."""
         fanouts = list(fanouts) if fanouts is not None else list(self.config.infer_fanouts)
+        overlapped = self.infer_executor != "serial"
         return sampled_inference(
             self.model,
             self.store.features,
@@ -166,6 +184,12 @@ class Trainer:
             fanouts,
             batch_size=self.config.batch_size,
             seed=seed,
+            executor=self.infer_executor,
+            # Overlapped inference stages batches through the trainer's
+            # device (pinned staging + transfer stream); serial inference
+            # keeps the historical host-only path.
+            device=self.device if overlapped else None,
+            num_workers=self.num_workers,
         )
 
     def evaluate(

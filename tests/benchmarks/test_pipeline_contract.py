@@ -1,0 +1,86 @@
+"""Contract tests for ``benchmarks/bench_pipeline.py`` and its artifact.
+
+Mirrors the hotpath contract: a fresh ``--smoke`` run must satisfy the
+schema, the committed full-mode ``BENCH_pipeline.json`` must stay valid,
+and the headline claim — staged pipelined inference beating the serial
+policy — must hold in the committed numbers.  Also covers the
+multi-artifact ``validate_all`` entry point that checks every
+``BENCH_*.json`` at the repo root in one pass.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(BENCH_DIR))
+
+import bench_pipeline  # noqa: E402
+import check_bench_json  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def smoke_doc(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_pipeline.json"
+    assert bench_pipeline.main(["--smoke", "--output", str(out)]) == 0
+    return json.loads(out.read_text()), out
+
+
+class TestSmokeRun:
+    def test_smoke_artifact_satisfies_schema(self, smoke_doc):
+        doc, _ = smoke_doc
+        assert check_bench_json.validate(doc) == []
+        assert doc["mode"] == "smoke"
+
+    def test_smoke_covers_both_workloads_and_all_policies(self, smoke_doc):
+        doc, _ = smoke_doc
+        seen = {(r["bench"], r["variant"]) for r in doc["rows"]}
+        assert seen == {
+            (bench, variant)
+            for bench in ("train", "inference")
+            for variant in ("serial", "pipelined", "staged")
+        }
+
+    def test_cli_roundtrip(self, smoke_doc):
+        _, path = smoke_doc
+        assert check_bench_json.main([str(path)]) == 0
+
+
+class TestCommittedArtifact:
+    @pytest.fixture(scope="class")
+    def committed(self):
+        path = REPO_ROOT / "BENCH_pipeline.json"
+        assert path.exists(), "committed BENCH_pipeline.json missing from repo root"
+        return json.loads(path.read_text())
+
+    def test_valid_full_mode(self, committed):
+        assert check_bench_json.validate(committed, min_reps=5) == []
+        assert committed["mode"] == "full"
+
+    def test_staged_inference_beats_serial(self, committed):
+        """The PR's acceptance claim: pipelined inference through the staged
+        runtime outperforms the serial policy on every dataset."""
+        for name, entry in committed["summary"].items():
+            assert entry["staged_inference_speedup"] > 1.0, name
+
+
+class TestValidateAll:
+    def test_all_committed_artifacts_valid(self):
+        results = check_bench_json.validate_all(min_reps=5)
+        assert results, "no BENCH_*.json artifacts at the repo root"
+        assert set(results) >= {"BENCH_sampler_hotpath.json", "BENCH_pipeline.json"}
+        bad = {name: errs for name, errs in results.items() if errs}
+        assert not bad
+
+    def test_invalid_artifact_reported_by_filename(self, tmp_path):
+        good = {"bench": "nope"}
+        (tmp_path / "BENCH_broken.json").write_text(json.dumps(good))
+        (tmp_path / "BENCH_unreadable.json").write_text("{not json")
+        (tmp_path / "ignored.json").write_text("{}")
+        results = check_bench_json.validate_all(root=tmp_path)
+        assert set(results) == {"BENCH_broken.json", "BENCH_unreadable.json"}
+        assert any("bench must be one of" in e for e in results["BENCH_broken.json"])
+        assert any("cannot read" in e for e in results["BENCH_unreadable.json"])
