@@ -39,7 +39,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import BENCH_SCALES  # noqa: E402
+from common import BENCH_SCALES, registry_stage_seconds  # noqa: E402
 
 from repro.datasets import get_dataset  # noqa: E402
 from repro.models import build_model  # noqa: E402
@@ -131,15 +131,22 @@ def _percentiles(times: list[float]) -> tuple[float, float]:
     return statistics.median(times), float(np.percentile(times, 90))
 
 
-def _time_training(dataset, store, variant: str, mode: dict) -> tuple[float, float]:
+def _time_training(
+    dataset, store, variant: str, mode: dict
+) -> tuple[float, float, dict]:
     """Median/p90 epoch time over ``reps`` epochs (plus one warm-up).
 
     Every rep rebuilds the model/optimizer and the device, so each epoch
     does identical work; the executor (and its prepare workers / pinned
     pool) persists across reps like a real multi-epoch training run.
+
+    Stage accounting is read from each epoch's :class:`MetricsRegistry`
+    (cross-checked against the legacy EpochStats fields to 1e-6 relative)
+    and summed over the timed reps.
     """
     batches = _train_batches(dataset, mode["num_batches"], mode["batch_size"])
     times = []
+    stage_totals: dict[str, float] = {}
     for rep in range(mode["reps"] + 1):  # rep 0 is the warm-up
         device = Device(transfer_bandwidth=TRANSFER_BANDWIDTH)
         executor = _build_executor(variant, dataset, store, device, mode["batch_size"])
@@ -147,7 +154,10 @@ def _time_training(dataset, store, variant: str, mode: dict) -> tuple[float, flo
         device.shutdown()
         if rep > 0:
             times.append(stats.epoch_time)
-    return _percentiles(times)
+            for stage, seconds in registry_stage_seconds(stats).items():
+                stage_totals[stage] = stage_totals.get(stage, 0.0) + seconds
+    median, p90 = _percentiles(times)
+    return median, p90, stage_totals
 
 
 def _time_inference(dataset, store, model, variant: str, mode: dict) -> tuple[float, float]:
@@ -193,17 +203,24 @@ def run_bench(mode: dict, datasets: dict) -> dict:
             ("inference", lambda v: _time_inference(dataset, store, infer_model, v, mode)),
         ):
             for variant in VARIANTS:
-                median, p90 = timer(variant)
-                rows.append(
-                    {
-                        "bench": bench,
-                        "dataset": name,
-                        "variant": variant,
-                        "median_s": median,
-                        "p90_s": p90,
-                        "batches_per_s": num_batches / median,
-                    }
-                )
+                if bench == "train":
+                    median, p90, stage_s = timer(variant)
+                else:
+                    median, p90 = timer(variant)
+                    stage_s = None
+                row = {
+                    "bench": bench,
+                    "dataset": name,
+                    "variant": variant,
+                    "median_s": median,
+                    "p90_s": p90,
+                    "batches_per_s": num_batches / median,
+                }
+                if stage_s is not None:
+                    # Registry-sourced caller-blocking seconds, summed
+                    # over the timed reps (validated in _time_training).
+                    row["stage_s"] = {k: round(v, 6) for k, v in stage_s.items()}
+                rows.append(row)
                 print(
                     f"{bench:9s} {name:10s} {variant:10s} "
                     f"median {median * 1e3:9.2f} ms   "

@@ -63,6 +63,24 @@ SCHEMAS = {
 }
 
 
+#: run_report: the machine-readable per-run artifact written by
+#: ``python -m repro train --report-out`` (see repro.telemetry.report)
+REPORT_EPOCH_KEYS = (
+    "epoch",
+    "epoch_s",
+    "sample_s",
+    "slice_s",
+    "transfer_s",
+    "train_s",
+    "prep_wait_s",
+    "num_batches",
+    "bytes_transferred",
+    "overlapped",
+    "breakdown",
+)
+REPORT_METRIC_KINDS = {"counter", "gauge", "histogram", "timer"}
+
+
 def _is_positive_number(value) -> bool:
     return (
         isinstance(value, (int, float))
@@ -72,15 +90,124 @@ def _is_positive_number(value) -> bool:
     )
 
 
+def _is_finite_number(value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def validate_run_report(doc: dict) -> list[str]:
+    """Schema violations for a ``run_report`` document (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc.get("schema_version"), int) or doc["schema_version"] < 1:
+        errors.append("schema_version must be an int >= 1")
+    if not isinstance(doc.get("command"), str) or not doc.get("command"):
+        errors.append("command must be a non-empty string")
+    if not isinstance(doc.get("config"), dict):
+        errors.append("config must be an object")
+    environment = doc.get("environment")
+    if not isinstance(environment, dict):
+        errors.append("environment must be an object")
+    else:
+        for key in ("python", "numpy", "platform", "cpu_count"):
+            if key not in environment:
+                errors.append(f"environment missing key {key!r}")
+
+    epochs = doc.get("epochs")
+    if not isinstance(epochs, list) or not epochs:
+        errors.append("epochs must be a non-empty list")
+        epochs = []
+    for i, row in enumerate(epochs):
+        if not isinstance(row, dict):
+            errors.append(f"epochs[{i}] is not an object")
+            continue
+        missing = [k for k in REPORT_EPOCH_KEYS if k not in row]
+        if missing:
+            errors.append(f"epochs[{i}] missing keys: {missing}")
+            continue
+        for key in (
+            "epoch_s", "sample_s", "slice_s", "transfer_s", "train_s",
+            "prep_wait_s",
+        ):
+            value = row[key]
+            if not _is_finite_number(value) or value < 0:
+                errors.append(
+                    f"epochs[{i}].{key} must be a finite non-negative number"
+                )
+        for key in ("num_batches", "bytes_transferred"):
+            if not isinstance(row[key], int) or row[key] < 0:
+                errors.append(f"epochs[{i}].{key} must be a non-negative int")
+        breakdown = row["breakdown"]
+        if not isinstance(breakdown, dict) or not breakdown:
+            errors.append(f"epochs[{i}].breakdown must be a non-empty object")
+        else:
+            for stage, fraction in breakdown.items():
+                if not _is_finite_number(fraction) or fraction < 0:
+                    errors.append(
+                        f"epochs[{i}].breakdown[{stage!r}] must be "
+                        "a finite non-negative number"
+                    )
+
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        errors.append("totals must be an object")
+    elif epochs and not errors:
+        if totals.get("epochs") != len(epochs):
+            errors.append("totals.epochs != len(epochs)")
+        if totals.get("num_batches") != sum(e["num_batches"] for e in epochs):
+            errors.append("totals.num_batches != sum of epoch rows")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        errors.append("metrics must be a list")
+    else:
+        for i, entry in enumerate(metrics):
+            if not isinstance(entry, dict):
+                errors.append(f"metrics[{i}] is not an object")
+                continue
+            if not isinstance(entry.get("name"), str) or not entry.get("name"):
+                errors.append(f"metrics[{i}].name must be a non-empty string")
+            if entry.get("kind") not in REPORT_METRIC_KINDS:
+                errors.append(
+                    f"metrics[{i}].kind must be one of "
+                    f"{sorted(REPORT_METRIC_KINDS)}, got {entry.get('kind')!r}"
+                )
+            if not isinstance(entry.get("labels"), dict):
+                errors.append(f"metrics[{i}].labels must be an object")
+            if entry.get("kind") in ("histogram", "timer"):
+                counts = entry.get("counts")
+                buckets = entry.get("buckets")
+                if not isinstance(buckets, list) or not isinstance(counts, list):
+                    errors.append(f"metrics[{i}] missing buckets/counts lists")
+                elif len(counts) != len(buckets) + 1:
+                    errors.append(
+                        f"metrics[{i}]: counts must have len(buckets)+1 bins"
+                    )
+
+    if not isinstance(doc.get("counters"), dict):
+        errors.append("counters must be an object")
+    if not isinstance(doc.get("evaluation"), dict):
+        errors.append("evaluation must be an object")
+    else:
+        for split, value in doc["evaluation"].items():
+            if not _is_finite_number(value):
+                errors.append(f"evaluation[{split!r}] must be a finite number")
+    return errors
+
+
 def validate(doc: dict, min_reps: int = 1) -> list[str]:
     """Return a list of schema violations (empty means the doc is valid)."""
     errors: list[str] = []
     if not isinstance(doc, dict):
         return ["top level must be a JSON object"]
     bench = doc.get("bench")
+    if bench == "run_report":
+        return validate_run_report(doc)
     if bench not in SCHEMAS:
         return [
-            f"bench must be one of {sorted(SCHEMAS)} "
+            f"bench must be one of {sorted(SCHEMAS) + ['run_report']} "
             f"(e.g. 'sampler_hotpath'), got {bench!r}"
         ]
     groups, throughput_key, summary_keys = SCHEMAS[bench]
@@ -146,14 +273,15 @@ def validate(doc: dict, min_reps: int = 1) -> list[str]:
 
 
 def validate_all(root: Path = REPO_ROOT, min_reps: int = 1) -> dict[str, list[str]]:
-    """Validate every ``BENCH_*.json`` under ``root``.
+    """Validate every ``BENCH_*.json`` / ``REPORT_*.json`` under ``root``.
 
     Returns ``{filename: errors}`` for each artifact found (empty error
     lists mean valid).  An empty dict means *no artifacts were found*,
     which callers should treat as a failure of its own.
     """
     results: dict[str, list[str]] = {}
-    for path in sorted(root.glob("BENCH_*.json")):
+    paths = sorted(root.glob("BENCH_*.json")) + sorted(root.glob("REPORT_*.json"))
+    for path in paths:
         try:
             doc = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
@@ -177,7 +305,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    paths = args.paths or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    paths = args.paths or (
+        sorted(REPO_ROOT.glob("BENCH_*.json")) + sorted(REPO_ROOT.glob("REPORT_*.json"))
+    )
     if not paths:
         print(f"no BENCH_*.json artifacts found under {REPO_ROOT}", file=sys.stderr)
         return 2
@@ -195,6 +325,8 @@ def main(argv: list[str] | None = None) -> int:
             for error in errors:
                 print(f"INVALID {path}: {error}", file=sys.stderr)
             status = max(status, 1)
+        elif doc.get("bench") == "run_report":
+            print(f"{path}: valid run report ({len(doc['epochs'])} epochs)")
         else:
             print(f"{path}: valid ({len(doc['rows'])} rows, reps={doc['reps']})")
     return status

@@ -52,6 +52,19 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--sampler", choices=["fast", "pyg"], default="fast")
     train.add_argument("--fanouts", type=int, nargs="+", default=None)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of the run "
+        "(open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    train.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="write a machine-readable run_report JSON artifact",
+    )
 
     simulate = sub.add_parser("simulate", help="run the calibrated performance model")
     simulate.add_argument("--dataset", default="papers")
@@ -75,8 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.datasets import get_dataset
+    from repro.telemetry import Tracer
     from repro.train import Trainer, get_config
     from repro.train.config import ExperimentConfig
+    from repro.train.loop import TrainResult
 
     dataset = get_dataset(args.dataset, scale=args.scale, seed=args.seed)
     try:
@@ -104,22 +119,37 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"model: {config.model} layers={config.num_layers} "
         f"hidden={config.hidden_channels} fanouts={config.train_fanouts}"
     )
+    tracer = Tracer(enabled=args.trace_out is not None)
     trainer = Trainer(
         dataset,
         config,
         executor=args.executor,
         sampler=args.sampler,
         seed=args.seed,
+        tracer=tracer,
         infer_executor=args.infer_executor,
     )
+    result = TrainResult()
     for epoch in range(args.epochs):
         stats = trainer.train_epoch(epoch)
+        result.epoch_stats.append(stats)
         print(
             f"epoch {epoch:3d}: loss={np.mean(stats.losses):.4f} "
             f"time={stats.epoch_time * 1000:.0f}ms"
         )
-    print(f"val accuracy:  {trainer.evaluate('val'):.4f}")
-    print(f"test accuracy: {trainer.evaluate('test'):.4f}")
+    val_acc = trainer.evaluate("val")
+    test_acc = trainer.evaluate("test")
+    print(f"val accuracy:  {val_acc:.4f}")
+    print(f"test accuracy: {test_acc:.4f}")
+    if args.trace_out:
+        tracer.write_chrome_trace(args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    if args.report_out:
+        report = trainer.build_report(result)
+        report.add_evaluation("val", val_acc)
+        report.add_evaluation("test", test_acc)
+        report.write(args.report_out)
+        print(f"run report written to {args.report_out}")
     trainer.shutdown()
     return 0
 

@@ -23,6 +23,7 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..slicing.slicer import SlicedBatch
 from ..slicing.store import FeatureStore
+from ..telemetry import MetricsRegistry
 from .device import Device, DeviceBatch, DeviceTensor
 
 __all__ = ["DeviceFeatureCache", "transfer_batch_with_cache", "hottest_nodes"]
@@ -42,10 +43,15 @@ class DeviceFeatureCache:
     """Features of a fixed node set, resident on the device in fp32."""
 
     def __init__(
-        self, device: Device, store: FeatureStore, node_ids: np.ndarray
+        self,
+        device: Device,
+        store: FeatureStore,
+        node_ids: np.ndarray,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         node_ids = np.asarray(node_ids, dtype=np.int64)
         self.device = device
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._row_of = np.full(store.num_nodes, -1, dtype=np.int64)
         self._row_of[node_ids] = np.arange(len(node_ids))
         # One-time bulk upload of the resident set (metered).
@@ -98,6 +104,9 @@ def transfer_batch_with_cache(
     cache.misses += int(len(miss_idx))
     full_bytes = batch.xs[: len(n_id)].nbytes
     cache.bytes_saved += full_bytes - miss_features.nbytes
+    cache.metrics.counter("cache_rows", outcome="hit").inc(int(hit.sum()))
+    cache.metrics.counter("cache_rows", outcome="miss").inc(int(len(miss_idx)))
+    cache.metrics.counter("cache_bytes_saved").inc(full_bytes - miss_features.nbytes)
 
     return DeviceBatch(
         xs=DeviceTensor(xs, device),

@@ -12,12 +12,13 @@ backpressure, exactly like a fixed ring of pinned staging buffers.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from ..telemetry import Counters
+from ..telemetry import Counters, MetricsRegistry
 
 __all__ = ["PinnedBuffer", "PinnedBufferPool"]
 
@@ -42,10 +43,12 @@ class PinnedBufferPool:
         max_batch: int,
         feature_dtype=np.float16,
         counters: Optional[Counters] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_slots < 1:
             raise ValueError("need at least one slot")
         self.counters = counters if counters is not None else Counters()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.max_rows = max_rows
         self.num_features = num_features
         self.max_batch = max_batch
@@ -64,13 +67,20 @@ class PinnedBufferPool:
 
     def acquire(self, timeout: Optional[float] = None) -> PinnedBuffer:
         """Block until a slot is free; return it."""
+        t0 = time.perf_counter()
         with self._available:
             while not self._free:
                 self.counters.inc("pinned_acquire_waits")
                 if not self._available.wait(timeout=timeout):
                     raise TimeoutError("no pinned buffer became available")
             self.counters.inc("pinned_acquires")
-            return self._buffers[self._free.pop()]
+            buffer = self._buffers[self._free.pop()]
+            free = len(self._free)
+        self.metrics.histogram(
+            "pinned_acquire_wait_seconds"
+        ).observe(time.perf_counter() - t0)
+        self.metrics.gauge("pinned_free_slots").set(float(free))
+        return buffer
 
     def release(self, buffer: PinnedBuffer) -> None:
         with self._available:
@@ -79,6 +89,8 @@ class PinnedBufferPool:
             self._free.append(buffer.slot)
             self.counters.inc("pinned_releases")
             self._available.notify()
+            free = len(self._free)
+        self.metrics.gauge("pinned_free_slots").set(float(free))
 
     def free_slots(self) -> int:
         with self._mutex:

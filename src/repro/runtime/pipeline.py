@@ -31,7 +31,7 @@ import numpy as np
 
 from ..sampling.base import NeighborSamplerBase
 from ..slicing.store import FeatureStore
-from ..telemetry import Counters
+from ..telemetry import Counters, MetricsRegistry
 from .device import Device, DeviceBatch
 from .pinned import PinnedBufferPool
 from .stages import (
@@ -61,6 +61,7 @@ class SerialExecutor:
         device: Device,
         tracer: Optional[Tracer] = None,
         seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sampler = sampler
         self.store = store
@@ -77,8 +78,10 @@ class SerialExecutor:
             prefetch_depth=0,
             seed=seed,
             tracer=self.tracer,
+            metrics=metrics,
         )
         self.counters = self._pipeline.ctx.counters
+        self.metrics = self._pipeline.ctx.metrics
 
     def run_epoch(self, batches: Sequence[np.ndarray], train_fn: TrainFn) -> EpochStats:
         return self._pipeline.run_epoch(batches, train_fn)
@@ -100,12 +103,14 @@ class _PooledExecutor:
         tracer: Optional[Tracer] = None,
         seed: int = 0,
         counters: Optional[Counters] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.store = store
         self.device = device
         self.tracer = tracer or Tracer(enabled=False)
         #: one shared sink for sampler, slicer and pinned-pool telemetry
         self.counters = counters if counters is not None else Counters()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         probe = sampler_factory()
         max_rows = max_rows_hint or estimate_max_rows(
             probe.fanouts, max_batch_hint, store.num_nodes
@@ -117,6 +122,7 @@ class _PooledExecutor:
             max_batch=max_batch_hint,
             feature_dtype=store.feature_dtype,
             counters=self.counters,
+            metrics=self.metrics,
         )
         self._pipeline = StagedPipeline(
             self._build_stages(sampler_factory, num_workers),
@@ -124,6 +130,7 @@ class _PooledExecutor:
             seed=seed,
             tracer=self.tracer,
             counters=self.counters,
+            metrics=self.metrics,
         )
 
     def _build_stages(self, sampler_factory, num_workers):

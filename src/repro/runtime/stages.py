@@ -45,7 +45,7 @@ import numpy as np
 
 from ..slicing.slicer import SlicedBatch, slice_batch_fused, slice_batch_reference
 from ..slicing.store import FeatureStore
-from ..telemetry import Counters
+from ..telemetry import Counters, MetricsRegistry
 from .device import Device, DeviceBatch, StreamEvent
 from .pinned import PinnedBuffer, PinnedBufferPool
 from .queues import BoundedOutputQueue, InputQueue, QueueClosed
@@ -77,6 +77,13 @@ class EpochStats:
     they block the caller, on an overlapped pipeline they are aggregate
     worker-thread time.  ``prep_wait_time``/``transfer_time``/``train_time``
     are always measured on the caller thread.
+
+    When a :class:`~repro.telemetry.MetricsRegistry` is attached (every
+    :meth:`StagedPipeline.run_epoch` attaches a per-epoch one), each timing
+    observation is recorded there too — ``stage_seconds{stage=...}``
+    histograms for busy time and ``caller_seconds{stage=...}`` histograms
+    for the blocking view — and :meth:`breakdown` reads *from the registry*
+    rather than keeping a parallel accounting implementation.
     """
 
     epoch_time: float = 0.0
@@ -91,11 +98,41 @@ class EpochStats:
     #: True when sample/slice ran off the caller thread (their times are
     #: busy, not blocking, and must not be counted in the blocking view).
     overlapped: bool = False
+    #: per-epoch metric registry (the breakdown's source of truth)
+    metrics: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
+
+    #: breakdown keys, in Table 1's column order
+    BREAKDOWN_STAGES = ("batch_prep", "transfer", "train", "prep_wait")
 
     @property
     def batch_prep_time(self) -> float:
         """Batch preparation = sampling + slicing (Table 1's first column)."""
         return self.sample_time + self.slice_time
+
+    # ------------------------------------------------------------------
+    # Recording (fields + registry in lockstep)
+    # ------------------------------------------------------------------
+    def record_busy(self, stage: str, seconds: float) -> None:
+        """One batch's busy seconds on ``stage`` (worker or caller thread)."""
+        if stage == "sample":
+            self.sample_time += seconds
+        elif stage == "slice":
+            self.slice_time += seconds
+        if self.metrics is not None:
+            self.metrics.histogram("stage_seconds", stage=stage).observe(seconds)
+
+    def record_caller(self, stage: str, seconds: float) -> None:
+        """Seconds the caller thread spent blocked on ``stage``."""
+        if stage == "transfer":
+            self.transfer_time += seconds
+        elif stage == "train":
+            self.train_time += seconds
+        elif stage == "prep_wait":
+            self.prep_wait_time += seconds
+        if self.metrics is not None:
+            self.metrics.histogram("caller_seconds", stage=stage).observe(seconds)
 
     def breakdown(self) -> dict[str, float]:
         """Fractions of epoch time per stage, from the caller's blocking
@@ -103,8 +140,17 @@ class EpochStats:
         overlapped-executor fractions sum to ~1.0 instead of silently
         under-reporting starvation; off-thread prep busy time is excluded
         from the blocking view.
+
+        With an attached registry this is a pure view over the
+        ``caller_seconds`` histograms; the legacy field arithmetic remains
+        only for hand-built stats objects with no registry.
         """
         total = max(self.epoch_time, 1e-12)
+        if self.metrics is not None:
+            return {
+                stage: self.metrics.value("caller_seconds", stage=stage) / total
+                for stage in self.BREAKDOWN_STAGES
+            }
         blocking_prep = 0.0 if self.overlapped else self.batch_prep_time
         return {
             "batch_prep": blocking_prep / total,
@@ -112,6 +158,10 @@ class EpochStats:
             "train": self.train_time / total,
             "prep_wait": self.prep_wait_time / total,
         }
+
+
+#: queue-depth histogram bins: one per occupancy level up to 16 batches
+_DEPTH_BUCKETS = tuple(float(i) for i in range(17))
 
 
 class StageError(RuntimeError):
@@ -169,7 +219,7 @@ class Envelope:
         t0 = time.perf_counter()
         self._transfer_event.wait()
         if stats is not None:
-            stats.transfer_time += time.perf_counter() - t0
+            stats.record_caller("transfer", time.perf_counter() - t0)
         self.device_batch = self._transfer_holder[0]
         self._transfer_event = None
         self._transfer_holder = None
@@ -182,6 +232,8 @@ class PipelineContext:
     tracer: Tracer
     counters: Counters
     seed: int
+    #: pipeline-lifetime metric registry (per-epoch registries merge in)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
 
 @contextmanager
@@ -245,6 +297,9 @@ class SampleStage(Stage):
         attach = getattr(sampler, "attach_counters", None)
         if attach is not None:
             attach(self.ctx.counters)
+        attach_metrics = getattr(sampler, "attach_metrics", None)
+        if attach_metrics is not None:
+            attach_metrics(self.ctx.metrics)
         return sampler
 
     def process(self, env: Envelope, state, resource: str) -> None:
@@ -296,12 +351,16 @@ class SliceStage(Stage):
                     ys_out=buffer.labels,
                     pinned_slot=buffer.slot,
                     counters=self.ctx.counters,
+                    metrics=self.ctx.metrics,
                 )
             else:
                 if pool is not None:
                     self.ctx.counters.inc("pool_overflow_batches")
                 env.sliced = slice_batch_fused(
-                    self.store, mfg, counters=self.ctx.counters
+                    self.store,
+                    mfg,
+                    counters=self.ctx.counters,
+                    metrics=self.ctx.metrics,
                 )
 
 
@@ -433,6 +492,7 @@ class StagedPipeline:
         rng_entries: Optional[Callable[[int], Sequence[int]]] = None,
         tracer: Optional[Tracer] = None,
         counters: Optional[Counters] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not stages:
             raise ValueError("need at least one stage")
@@ -445,6 +505,7 @@ class StagedPipeline:
             tracer=tracer or Tracer(enabled=False),
             counters=counters if counters is not None else Counters(),
             seed=seed,
+            metrics=metrics if metrics is not None else MetricsRegistry(),
         )
 
         stages = list(stages)
@@ -518,7 +579,9 @@ class StagedPipeline:
         if self.compute_stage.fn is None:
             raise ValueError("no compute function bound")
 
-        stats = EpochStats(overlapped=self.prefetch_depth > 0)
+        stats = EpochStats(
+            overlapped=self.prefetch_depth > 0, metrics=MetricsRegistry()
+        )
         device = self.transfer_stage.device if self.transfer_stage else None
         bytes_at_start = device.bytes_transferred if device else 0
         epoch_start = time.perf_counter()
@@ -542,6 +605,13 @@ class StagedPipeline:
         stats.epoch_time = time.perf_counter() - epoch_start
         if device is not None:
             stats.bytes_transferred = device.bytes_transferred - bytes_at_start
+        # Fold the per-epoch registry into the pipeline's cumulative one so
+        # multi-epoch runs (and benches) see one aggregated pool view.
+        epoch_metrics = stats.metrics
+        epoch_metrics.counter("batches").inc(stats.num_batches)
+        epoch_metrics.counter("bytes_transferred").inc(stats.bytes_transferred)
+        epoch_metrics.histogram("epoch_seconds").observe(stats.epoch_time)
+        self.ctx.metrics.merge(epoch_metrics)
         return stats
 
     def _finish(
@@ -552,11 +622,17 @@ class StagedPipeline:
     ) -> None:
         env.release_buffer()  # no-op when a transfer already recycled it
         stats.num_batches += 1
-        stats.sample_time += env.timings.get("sample", 0.0)
-        stats.slice_time += env.timings.get("slice", 0.0)
+        timings = env.timings
+        for stage_name, seconds in timings.items():
+            stats.record_busy(stage_name, seconds)
+        if not stats.overlapped:
+            stats.record_caller(
+                "batch_prep",
+                timings.get("sample", 0.0) + timings.get("slice", 0.0),
+            )
         if not self.prefetch_depth:
-            stats.transfer_time += env.timings.get("transfer", 0.0)
-        stats.train_time += env.timings.get(self.compute_stage.name, 0.0)
+            stats.record_caller("transfer", timings.get("transfer", 0.0))
+        stats.record_caller("train", timings.get(self.compute_stage.name, 0.0))
         if isinstance(env.output, (int, float)):
             stats.losses.append(float(env.output))
         if on_result is not None:
@@ -613,6 +689,11 @@ class _OverlappedRun:
     def __init__(self, pipeline: StagedPipeline, batches, stats: EpochStats):
         self.pipeline = pipeline
         self.stats = stats
+        #: queue-depth / wait-time observations target the epoch registry
+        #: when one is attached, else the pipeline's cumulative registry
+        self.metrics = (
+            stats.metrics if stats.metrics is not None else pipeline.ctx.metrics
+        )
         self.total = len(batches)
         self.error: Optional[StageError] = None
         self._cancelled = False
@@ -673,10 +754,15 @@ class _OverlappedRun:
                 if env is None:
                     return
             else:
+                t0 = time.perf_counter()
                 try:
                     env = upstream.get()
                 except QueueClosed:
                     return
+                # How long this worker starved on its upstream stage.
+                self.metrics.histogram(
+                    "queue_wait_seconds", stage=stage.name
+                ).observe(time.perf_counter() - t0)
             try:
                 stage.process(env, state, resource)
             except BaseException as exc:
@@ -688,6 +774,9 @@ class _OverlappedRun:
             except QueueClosed:
                 self.pipeline._abandon(env)
                 return
+            self.metrics.histogram(
+                "queue_depth", _DEPTH_BUCKETS, stage=stage.name
+            ).observe(len(downstream))
 
     def _fail(self, error: StageError) -> None:
         with self._lock:
@@ -733,7 +822,7 @@ class _OverlappedRun:
                 env = final_queue.get()
             except QueueClosed:
                 env = None
-            self.stats.prep_wait_time += time.perf_counter() - t0
+            self.stats.record_caller("prep_wait", time.perf_counter() - t0)
             if env is None:
                 self._upstream_done = True
                 continue

@@ -1,151 +1,22 @@
-"""Timeline tracing for the training pipeline (Figure 1).
+"""Deprecated shim: tracing now lives in :mod:`repro.telemetry.tracer`.
 
-Every pipeline stage (sample, slice, transfer, train) records
-``TraceEvent``s against a named resource lane (``cpu:0``, ``dma``, ``gpu``).
-The collected trace renders as an ASCII Gantt chart, reproducing the
-paper's Figure 1 comparison between the serial PyTorch workflow and
-SALIENT's overlapped pipeline.
+The runtime used to own its own tracer with a private wall-clock origin;
+PR 3 unified it with the telemetry subsystem so spans, metrics and run
+reports share one instrumentation seam (and one clock).  Existing imports
+(``from repro.runtime.trace import Tracer`` and friends) keep working —
+they now resolve to the telemetry implementations, which preserve the
+original API (``span``/``record``/``stage_totals``/``resource_busy``/
+``makespan``/``gpu_utilization``) and the byte-compatible Figure-1 ASCII
+renderer, and add hierarchical spans plus Chrome trace-event export.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from dataclasses import dataclass, field
-from typing import Optional
+from ..telemetry.tracer import (  # noqa: F401 (re-exports)
+    STAGE_GLYPHS,
+    TraceEvent,
+    Tracer,
+    render_timeline,
+)
 
-__all__ = ["TraceEvent", "Tracer", "render_timeline"]
-
-#: Stage -> single-character glyph used in the ASCII timeline. The paper's
-#: Figure 1 color code: green=sample, yellow=slice, orange/red=transfer,
-#: blue=train.
-STAGE_GLYPHS = {"sample": "S", "slice": "L", "transfer": "T", "train": "C"}
-
-
-@dataclass
-class TraceEvent:
-    """One timed stage execution on one resource lane."""
-
-    name: str  # stage name: sample / slice / transfer / train
-    resource: str  # lane: cpu:<i>, dma, gpu
-    batch: int  # mini-batch index
-    start: float
-    end: float
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
-
-
-class Tracer:
-    """Thread-safe event collector with a shared wall-clock origin."""
-
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
-        self.events: list[TraceEvent] = []
-        self._lock = threading.Lock()
-        self._origin = time.perf_counter()
-
-    def now(self) -> float:
-        return time.perf_counter() - self._origin
-
-    def record(
-        self, name: str, resource: str, batch: int, start: float, end: float
-    ) -> None:
-        if not self.enabled:
-            return
-        with self._lock:
-            self.events.append(TraceEvent(name, resource, batch, start, end))
-
-    class _Span:
-        def __init__(self, tracer: "Tracer", name: str, resource: str, batch: int):
-            self.tracer, self.name, self.resource, self.batch = (
-                tracer,
-                name,
-                resource,
-                batch,
-            )
-
-        def __enter__(self):
-            self.start = self.tracer.now()
-            return self
-
-        def __exit__(self, *exc):
-            self.tracer.record(
-                self.name, self.resource, self.batch, self.start, self.tracer.now()
-            )
-
-    def span(self, name: str, resource: str, batch: int) -> "Tracer._Span":
-        """Context manager that records one event."""
-        return Tracer._Span(self, name, resource, batch)
-
-    # ------------------------------------------------------------------
-    # Analysis
-    # ------------------------------------------------------------------
-    def stage_totals(self) -> dict[str, float]:
-        """Total busy time per stage name."""
-        totals: dict[str, float] = {}
-        for event in self.events:
-            totals[event.name] = totals.get(event.name, 0.0) + event.duration
-        return totals
-
-    def resource_busy(self, resource: str) -> float:
-        """Union length of busy intervals on one lane (handles overlap)."""
-        spans = sorted(
-            (e.start, e.end) for e in self.events if e.resource == resource
-        )
-        busy = 0.0
-        current_start, current_end = None, None
-        for start, end in spans:
-            if current_end is None or start > current_end:
-                if current_end is not None:
-                    busy += current_end - current_start
-                current_start, current_end = start, end
-            else:
-                current_end = max(current_end, end)
-        if current_end is not None:
-            busy += current_end - current_start
-        return busy
-
-    def makespan(self) -> float:
-        if not self.events:
-            return 0.0
-        return max(e.end for e in self.events) - min(e.start for e in self.events)
-
-    def gpu_utilization(self) -> float:
-        """Fraction of the makespan during which the GPU lane is busy."""
-        span = self.makespan()
-        return self.resource_busy("gpu") / span if span > 0 else 0.0
-
-
-def render_timeline(
-    tracer: Tracer, width: int = 100, resources: Optional[list[str]] = None
-) -> str:
-    """Render the trace as an ASCII Gantt chart (one row per resource lane).
-
-    Glyphs: S=sample, L=slice, T=transfer, C=compute/train; digits would be
-    batch indices but lanes show stages for readability (matching Figure 1's
-    per-operation coloring).
-    """
-    if not tracer.events:
-        return "(empty trace)"
-    t0 = min(e.start for e in tracer.events)
-    t1 = max(e.end for e in tracer.events)
-    span = max(t1 - t0, 1e-9)
-    if resources is None:
-        resources = sorted({e.resource for e in tracer.events})
-    lines = []
-    scale = width / span
-    for resource in resources:
-        row = [" "] * width
-        for event in tracer.events:
-            if event.resource != resource:
-                continue
-            glyph = STAGE_GLYPHS.get(event.name, "?")
-            lo = int((event.start - t0) * scale)
-            hi = max(int((event.end - t0) * scale), lo + 1)
-            for i in range(lo, min(hi, width)):
-                row[i] = glyph
-        lines.append(f"{resource:>8s} |{''.join(row)}|")
-    legend = "legend: S=sample L=slice T=transfer C=train"
-    return "\n".join(lines + [legend, f"span: {span*1000:.1f} ms"])
+__all__ = ["TraceEvent", "Tracer", "render_timeline", "STAGE_GLYPHS"]

@@ -25,7 +25,7 @@ import numpy as np
 from ..sampling.base import NeighborSamplerBase
 from ..slicing.slicer import SlicedBatch
 from ..slicing.store import FeatureStore
-from ..telemetry import Counters
+from ..telemetry import Counters, MetricsRegistry
 from .pinned import PinnedBuffer, PinnedBufferPool
 from .queues import BoundedOutputQueue, InputQueue, QueueClosed
 from .stages import Envelope, PipelineContext, SampleStage, SliceStage
@@ -75,6 +75,7 @@ class BatchPreparationPool:
         tracer: Optional[Tracer] = None,
         seed: int = 0,
         counters: Optional[Counters] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -88,11 +89,17 @@ class BatchPreparationPool:
         #: shared telemetry sink; samplers that support ``attach_counters``
         #: (e.g. the arena-backed FastNeighborSampler) report into it too.
         self.counters = counters if counters is not None else Counters()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.overflow_count = 0  # batches that didn't fit a pinned slot
         # The prepare body is the runtime's stage implementation — one
         # definition of sampling + fused pinned slicing, shared with
         # every staged pipeline.
-        ctx = PipelineContext(tracer=self.tracer, counters=self.counters, seed=seed)
+        ctx = PipelineContext(
+            tracer=self.tracer,
+            counters=self.counters,
+            seed=seed,
+            metrics=self.metrics,
+        )
         self._sample_stage = SampleStage(sampler_factory)
         self._slice_stage = SliceStage(store, pinned_pool=pinned_pool)
         self._sample_stage.bind(ctx)
@@ -139,6 +146,9 @@ class BatchPreparationPool:
             attach = getattr(sampler, "attach_counters", None)
             if attach is not None:
                 attach(self.counters)
+            attach_metrics = getattr(sampler, "attach_metrics", None)
+            if attach_metrics is not None:
+                attach_metrics(self.metrics)
             try:
                 while True:
                     item = input_queue.get()

@@ -45,7 +45,7 @@ from typing import Optional
 import numpy as np
 
 from ..graph.csr import CSRGraph
-from ..telemetry import Counters
+from ..telemetry import Counters, MetricsRegistry
 
 __all__ = [
     "SamplerArena",
@@ -70,20 +70,31 @@ class SamplerArena:
     the same name; kernels request each name at most once per hop.
     """
 
-    def __init__(self, counters: Optional[Counters] = None) -> None:
+    def __init__(
+        self,
+        counters: Optional[Counters] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._buffers: dict[str, np.ndarray] = {}
         self._iota: Optional[np.ndarray] = None
         self.counters = counters if counters is not None else Counters()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.grow_count = 0
 
     def attach_counters(self, counters: Counters) -> None:
         """Redirect telemetry to a shared (e.g. per-pool) counter set."""
         self.counters = counters
 
+    def attach_metrics(self, metrics: MetricsRegistry) -> None:
+        """Redirect metric observations to a shared registry."""
+        self.metrics = metrics
+
     def _record_grow(self, nbytes: int) -> None:
         self.grow_count += 1
         self.counters.inc("arena_grow_count")
         self.counters.inc("arena_grow_bytes", nbytes)
+        self.metrics.counter("arena_grows").inc()
+        self.metrics.gauge("arena_bytes").set(float(self.nbytes()))
 
     def request(self, name: str, size: int, dtype=np.int64) -> np.ndarray:
         buf = self._buffers.get(name)

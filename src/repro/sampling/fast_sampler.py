@@ -137,6 +137,11 @@ class FastNeighborSampler(NeighborSamplerBase):
         if self.arena is not None:
             self.arena.attach_counters(counters)
 
+    def attach_metrics(self, metrics) -> None:
+        """Redirect arena metric observations to a shared registry."""
+        if self.arena is not None:
+            self.arena.attach_metrics(metrics)
+
     def sample(self, batch_nodes: np.ndarray, rng: np.random.Generator) -> MFG:
         batch_nodes = np.ascontiguousarray(batch_nodes, dtype=np.int64)
         if len(batch_nodes) == 0:

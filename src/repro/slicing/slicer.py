@@ -17,10 +17,13 @@ from typing import Optional
 import numpy as np
 
 from ..sampling.mfg import MFG
-from ..telemetry import Counters
+from ..telemetry import Counters, MetricsRegistry
 from .store import FeatureStore
 
 __all__ = ["SlicedBatch", "slice_batch_reference", "slice_batch_fused"]
+
+#: MFG-node-count bins for the per-batch slice-size histogram
+_ROW_BUCKETS = tuple(float(4 ** exp) for exp in range(2, 13))
 
 
 @dataclass
@@ -75,6 +78,7 @@ def slice_batch_fused(
     ys_out: Optional[np.ndarray] = None,
     pinned_slot: Optional[int] = None,
     counters: Optional[Counters] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SlicedBatch:
     """Slice once, directly into destination (pinned) buffers."""
     n_id = mfg.n_id
@@ -87,4 +91,9 @@ def slice_batch_fused(
         counters.inc("slice_bytes_gathered", xs.nbytes + ys.nbytes)
         if pinned_slot is not None:
             counters.inc("slice_pinned_batches")
+    if metrics is not None:
+        metrics.histogram("slice_rows", _ROW_BUCKETS).observe(float(len(n_id)))
+        metrics.counter(
+            "slice_bytes", pinned="yes" if pinned_slot is not None else "no"
+        ).inc(xs.nbytes + ys.nbytes)
     return SlicedBatch(mfg=mfg, xs=xs, ys=ys, pinned_slot=pinned_slot)

@@ -1,13 +1,47 @@
-"""Timers, counters and table/bar rendering for benches."""
+"""Observability: spans, metrics, counters, run reports, table rendering.
+
+One package owns every instrumentation seam of the repository:
+
+- :mod:`.tracer` — span-based :class:`Tracer` with a shared wall-clock
+  origin, ASCII Figure-1 rendering and Chrome trace-event export;
+- :mod:`.metrics` — :class:`MetricsRegistry` of labelled counters, gauges,
+  histograms and timers with thread-safe merge semantics;
+- :mod:`.counters` — the legacy integer :class:`Counters` (still the
+  allocation-proof ledger of the sampling arena and fused slicer);
+- :mod:`.report` — :class:`RunReport`, the machine-readable per-run JSON
+  artifact validated by ``benchmarks/check_bench_json.py``;
+- :mod:`.timers` / :mod:`.tables` — stopwatches and the table/bar renderers
+  every bench prints through.
+"""
 
 from .counters import Counters
+from .metrics import (
+    Counter,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .report import RunReport, collect_environment
 from .tables import format_bar_chart, format_seconds, format_table
 from .timers import StageTimers, Timer
+from .tracer import STAGE_GLYPHS, TraceEvent, Tracer, render_timeline
 
 __all__ = [
     "Timer",
     "StageTimers",
     "Counters",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "RunReport",
+    "collect_environment",
+    "Tracer",
+    "TraceEvent",
+    "render_timeline",
+    "STAGE_GLYPHS",
     "format_table",
     "format_seconds",
     "format_bar_chart",

@@ -30,6 +30,11 @@ class Timer:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Timer") -> None:
+        """Accumulate another stopwatch (per-worker timers -> pool view)."""
+        self.total += other.total
+        self.count += other.count
+
     def reset(self) -> None:
         self.total = 0.0
         self.count = 0
@@ -50,8 +55,16 @@ class StageTimers:
     def __getitem__(self, name: str) -> Timer:
         return self._timers[name]
 
+    def __contains__(self, name: str) -> bool:
+        return name in self._timers
+
     def totals(self) -> dict[str, float]:
         return {name: t.total for name, t in self._timers.items()}
+
+    def merge(self, other: "StageTimers") -> None:
+        """Name-wise accumulate another timer set into this one."""
+        for name, timer in other._timers.items():
+            self._timers.setdefault(name, Timer()).merge(timer)
 
     def reset(self) -> None:
         for timer in self._timers.values():

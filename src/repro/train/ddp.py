@@ -27,7 +27,7 @@ from ..sampling.fast_sampler import FastNeighborSampler
 from ..slicing.slicer import SlicedBatch
 from ..slicing.store import FeatureStore
 from ..tensor import Tensor, functional as F
-from ..telemetry import Counters
+from ..telemetry import Counters, MetricsRegistry
 from .config import ExperimentConfig
 from .inference import sampled_inference
 from .metrics import accuracy
@@ -80,6 +80,7 @@ class DDPTrainer:
             dataset.features, dataset.labels, half_precision=None
         )
         self.counters = Counters()
+        self.metrics = MetricsRegistry()
 
         # All replicas start from identical parameters (DDP broadcast).
         self.replicas = []
@@ -148,6 +149,7 @@ class DDPTrainer:
             seed=self.seed,
             rng_entries=lambda i: [self.seed, 11, first_step + i, rank],
             counters=self.counters,
+            metrics=self.metrics,
         )
         return pipeline.start(batches)
 
@@ -212,9 +214,18 @@ class DDPTrainer:
                 if step >= len(shards[rank]):
                     continue  # rank has no batch this step (tail of epoch)
                 env = runs[rank].next_envelope()
-                grads, loss = self._replica_step(rank, env.sliced)
+                # Prepare-stage busy seconds, per rank (worker-thread view).
+                for stage_name, seconds in env.timings.items():
+                    self.metrics.histogram(
+                        "stage_seconds", stage=stage_name, rank=str(rank)
+                    ).observe(seconds)
+                with self.metrics.timer(
+                    "caller_seconds", stage="train", rank=str(rank)
+                ).time():
+                    grads, loss = self._replica_step(rank, env.sliced)
                 all_grads.append(grads)
                 losses.append(loss)
+            self.metrics.counter("ddp_steps").inc()
             # All-reduce: average gradients across participating ranks.
             averaged = [
                 np.mean([grads[i] for grads in all_grads], axis=0)

@@ -41,7 +41,7 @@ from ..sampling.base import BatchIterator, NeighborSamplerBase
 from ..sampling.fast_sampler import FastNeighborSampler
 from ..slicing.store import FeatureStore
 from ..tensor import Tensor, functional as F, no_grad
-from ..telemetry import Counters
+from ..telemetry import Counters, MetricsRegistry
 
 __all__ = ["sampled_inference", "layerwise_full_inference", "LayerwiseResult"]
 
@@ -62,6 +62,7 @@ def sampled_inference(
     pinned_slots: int = 4,
     tracer: Optional[Tracer] = None,
     counters: Optional[Counters] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> np.ndarray:
     """Predict log-probabilities for ``nodes`` with one-shot sampling.
 
@@ -98,6 +99,7 @@ def sampled_inference(
     overlapped = executor != "serial"
     pinned_pool = None
     shared_counters = counters if counters is not None else Counters()
+    shared_metrics = metrics if metrics is not None else MetricsRegistry()
     if device is not None and overlapped:
         max_rows = estimate_max_rows(factory().fanouts, batch_size, store.num_nodes)
         pinned_pool = PinnedBufferPool(
@@ -107,6 +109,7 @@ def sampled_inference(
             max_batch=batch_size,
             feature_dtype=store.feature_dtype,
             counters=shared_counters,
+            metrics=shared_metrics,
         )
 
     stages: list = []
@@ -148,6 +151,7 @@ def sampled_inference(
         rng_entries=lambda index: [seed, index * batch_size],
         tracer=tracer,
         counters=shared_counters,
+        metrics=shared_metrics,
     )
     batches = list(BatchIterator(nodes, batch_size, shuffle=False))
     with no_grad():

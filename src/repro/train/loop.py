@@ -27,6 +27,7 @@ from ..sampling.base import BatchIterator, NeighborSamplerBase
 from ..sampling.fast_sampler import FastNeighborSampler
 from ..sampling.pyg_sampler import PyGNeighborSampler
 from ..slicing.store import FeatureStore
+from ..telemetry import Counters, MetricsRegistry, RunReport
 from ..tensor import Tensor, functional as F
 from .config import ExperimentConfig
 from .inference import sampled_inference
@@ -166,6 +167,37 @@ class Trainer:
 
     def train_epoch(self, epoch: int = 0) -> EpochStats:
         return self._executor.run_epoch(self.epoch_batches(epoch), self._train_fn())
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The executor's cumulative metric registry (all epochs merged)."""
+        return self._executor.metrics
+
+    @property
+    def counters(self) -> Counters:
+        return self._executor.counters
+
+    def build_report(self, result: TrainResult, command: str = "train") -> RunReport:
+        """A :class:`RunReport` document for a finished :meth:`fit` run."""
+        from dataclasses import asdict
+
+        report = RunReport(
+            command=command,
+            config={
+                **asdict(self.config),
+                "executor": type(self._executor).__name__,
+                "sampler": type(self._sampler_factory()).__name__,
+                "num_workers": self.num_workers,
+                "seed": self.seed,
+            },
+        )
+        for epoch, stats in enumerate(result.epoch_stats):
+            report.add_epoch(stats, epoch)
+        if result.val_accuracy:
+            report.add_evaluation("val", result.val_accuracy[-1])
+        report.attach_metrics(self.metrics)
+        report.attach_counters(self.counters)
+        return report
 
     def predict(
         self,

@@ -34,6 +34,16 @@ class TestTimer:
     def test_mean_of_empty(self):
         assert Timer().mean == 0.0
 
+    def test_merge_accumulates_totals_and_counts(self):
+        left, right = Timer(), Timer()
+        left.total, left.count = 1.0, 2
+        right.total, right.count = 0.5, 3
+        left.merge(right)
+        assert left.total == pytest.approx(1.5)
+        assert left.count == 5
+        # The source stopwatch is untouched.
+        assert right.total == pytest.approx(0.5) and right.count == 3
+
 
 class TestStageTimers:
     def test_named_accumulation(self):
@@ -53,6 +63,19 @@ class TestStageTimers:
             pass
         timers.reset()
         assert timers["x"].total == 0.0
+
+    def test_merge_is_name_wise(self):
+        pool, worker = StageTimers(), StageTimers()
+        with pool.time("sample"):
+            pass
+        with worker.time("sample"):
+            pass
+        with worker.time("slice"):
+            pass
+        pool.merge(worker)
+        assert pool["sample"].count == 2
+        assert pool["slice"].count == 1
+        assert set(pool.totals()) == {"sample", "slice"}
 
 
 class TestFormatting:
@@ -75,6 +98,22 @@ class TestFormatting:
 
     def test_format_table_empty(self):
         assert "empty" in format_table([])
+
+    def test_format_table_golden_output(self):
+        rows = [
+            {"dataset": "arxiv", "epoch_s": 1.5, "speedup": "2.0x"},
+            {"dataset": "products", "epoch_s": 12.25, "speedup": "1.5x"},
+        ]
+        golden = "\n".join(
+            [
+                "Table",
+                "dataset   epoch_s  speedup",
+                "-" * 26,
+                "arxiv     1.5      2.0x   ",
+                "products  12.25    1.5x   ",
+            ]
+        )
+        assert format_table(rows, title="Table") == golden
 
     def test_format_table_column_selection(self):
         rows = [{"a": 1, "b": 2}]
