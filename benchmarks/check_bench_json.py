@@ -47,6 +47,17 @@ PIPELINE_SUMMARY_KEYS = (
     "staged_inference_speedup",
 )
 
+#: compute_kernels: fused aggregation plans / workspace pool vs legacy twins
+AGGREGATION_VARIANTS = {"legacy", "plan_reuse", "fused"}
+ALLOC_VARIANTS = {"fresh", "pooled"}
+EPOCH_COMPUTE_VARIANTS = {"legacy", "fused"}
+COMPUTE_SUMMARY_KEYS = (
+    "plan_reuse_speedup",
+    "fused_speedup",
+    "pooled_alloc_speedup",
+    "fused_epoch_speedup",
+)
+
 #: bench name -> (row-group name -> allowed variants, throughput key,
 #:               required per-dataset summary keys)
 SCHEMAS = {
@@ -60,6 +71,15 @@ SCHEMAS = {
         "batches_per_s",
         PIPELINE_SUMMARY_KEYS,
     ),
+    "compute_kernels": (
+        {
+            "aggregation": AGGREGATION_VARIANTS,
+            "alloc": ALLOC_VARIANTS,
+            "epoch": EPOCH_COMPUTE_VARIANTS,
+        },
+        "items_per_s",
+        COMPUTE_SUMMARY_KEYS,
+    ),
 }
 
 
@@ -70,6 +90,7 @@ REPORT_EPOCH_KEYS = (
     "epoch_s",
     "sample_s",
     "slice_s",
+    "plan_build_s",
     "transfer_s",
     "train_s",
     "prep_wait_s",
@@ -128,8 +149,8 @@ def validate_run_report(doc: dict) -> list[str]:
             errors.append(f"epochs[{i}] missing keys: {missing}")
             continue
         for key in (
-            "epoch_s", "sample_s", "slice_s", "transfer_s", "train_s",
-            "prep_wait_s",
+            "epoch_s", "sample_s", "slice_s", "plan_build_s", "transfer_s",
+            "train_s", "prep_wait_s",
         ):
             value = row[key]
             if not _is_finite_number(value) or value < 0:

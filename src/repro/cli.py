@@ -50,6 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor policy for the post-training evaluation passes",
     )
     train.add_argument("--sampler", choices=["fast", "pyg"], default="fast")
+    train.add_argument(
+        "--compute",
+        choices=["fused", "legacy"],
+        default="fused",
+        help="kernel generation: fused aggregation plans + workspace pool, "
+        "or the legacy per-call kernels (byte-identical results)",
+    )
     train.add_argument("--fanouts", type=int, nargs="+", default=None)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument(
@@ -128,6 +135,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         seed=args.seed,
         tracer=tracer,
         infer_executor=args.infer_executor,
+        compute=args.compute,
     )
     result = TrainResult()
     for epoch in range(args.epochs):

@@ -31,6 +31,20 @@ def _as_adj_list(adjs: Sequence) -> list[Adj]:
     return list(adjs)
 
 
+def _layer_arg(adj):
+    """``(conv_edge_arg, size)`` for one MFG layer.
+
+    :class:`Adj` objects are passed to the conv layers whole, so a prebuilt
+    :class:`~repro.tensor.plan.AggregationPlan` attached by the prepare
+    stage reaches the kernels; raw PyG-style 3-tuples unpack to the edge
+    array (legacy calling convention, still supported).
+    """
+    if isinstance(adj, Adj):
+        return adj, adj.size
+    edge_index, _, size = adj
+    return edge_index, size
+
+
 class _SampledGNN(Module):
     """Shared forward skeleton for SAGE/GAT: conv + ReLU + dropout stacks."""
 
@@ -47,9 +61,10 @@ class _SampledGNN(Module):
             raise ValueError(
                 f"model has {self.num_layers} layers but got {len(adjs)} MFG layers"
             )
-        for i, (edge_index, _, size) in enumerate(adjs):
+        for i, adj in enumerate(adjs):
+            edge_arg, size = _layer_arg(adj)
             x_target = x[: size[1]]
-            x = self.convs[i]((x, x_target), edge_index)
+            x = self.convs[i]((x, x_target), edge_arg)
             if i != self.num_layers - 1:
                 x = F.relu(x)
                 x = F.dropout(x, p=self.dropout_p, training=self.training, rng=self._rng)
@@ -157,9 +172,10 @@ class GIN(Module):
             )
         # GIN's MLPs mix channels per layer; the input projection happens in
         # the first conv's MLP. A sum aggregation is used throughout.
-        for i, (edge_index, _, size) in enumerate(adjs):
+        for i, adj in enumerate(adjs):
+            edge_arg, size = _layer_arg(adj)
             x_target = x[: size[1]]
-            x = self.convs[i]((x, x_target), edge_index)
+            x = self.convs[i]((x, x_target), edge_arg)
         x = self.lin1(x).relu()
         x = F.dropout(x, p=0.5, training=self.training, rng=self._rng)
         x = self.lin2(x)
@@ -225,14 +241,15 @@ class SAGERI(Module):
         p, training, rng = self.dropout_p, self.training, self._rng
         x = F.dropout(x, p=p, training=training, rng=rng)
         collect.append(x[:end_size])
-        for i, (edge_index, _, size) in enumerate(adjs):
+        for i, adj in enumerate(adjs):
+            edge_arg, size = _layer_arg(adj)
             x_target = x[: size[1]]
             h = self.convs[i](
                 (
                     F.dropout(x, p=p, training=training, rng=rng),
                     F.dropout(x_target, p=p, training=training, rng=rng),
                 ),
-                edge_index,
+                edge_arg,
             )
             h = self.bns[i](h)
             h = F.leaky_relu(h)

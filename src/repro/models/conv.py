@@ -7,7 +7,10 @@ paper's appendix listings::
 
 where ``edge_index`` is local ``(2, E)`` with messages flowing
 ``edge_index[0] -> edge_index[1]`` and the target nodes are a prefix of the
-source set.
+source set.  ``edge_index`` may also be a :class:`~repro.sampling.mfg.Adj`
+carrying a precomputed :class:`~repro.tensor.plan.AggregationPlan`; layers
+then route through the plan-based / fused kernels (bitwise-identical, no
+per-call argsort, no ``(E, F)`` message temporaries for sum/mean).
 """
 
 from __future__ import annotations
@@ -24,15 +27,20 @@ from ..tensor import Tensor, functional as F, init
 __all__ = ["SAGEConv", "GATConv", "GINConv"]
 
 
-def _unpack(x_pair, edge_index: np.ndarray):
+def _unpack(x_pair, edge_index):
     x_src, x_dst = x_pair
     n_dst = x_dst.shape[0]
+    # Accept either a raw (2, E) array or an Adj carrying a prebuilt plan.
+    plan = getattr(edge_index, "plan", None)
+    edge_index = getattr(edge_index, "edge_index", edge_index)
     if edge_index.shape[1]:
         if edge_index[1].max() >= n_dst:
             raise ValueError("edge destination exceeds target-set size")
         if edge_index[0].max() >= x_src.shape[0]:
             raise ValueError("edge source exceeds source-set size")
-    return x_src, x_dst, n_dst
+    if plan is not None and plan.num_edges != edge_index.shape[1]:
+        raise ValueError("aggregation plan does not match edge_index")
+    return x_src, x_dst, n_dst, edge_index, plan
 
 
 class SAGEConv(Module):
@@ -60,15 +68,22 @@ class SAGEConv(Module):
         self.lin_neigh = Linear(in_channels, out_channels, bias=False, rng=rng)
         self.lin_root = Linear(in_channels, out_channels, bias=bias, rng=rng)
 
-    def forward(self, x_pair, edge_index: np.ndarray) -> Tensor:
-        x_src, x_dst, n_dst = _unpack(x_pair, edge_index)
-        messages = F.gather_rows(x_src, edge_index[0])
-        if self.aggregator == "mean":
-            agg = F.segment_mean(messages, edge_index[1], n_dst)
-        elif self.aggregator == "sum":
-            agg = F.segment_sum(messages, edge_index[1], n_dst)
+    def forward(self, x_pair, edge_index) -> Tensor:
+        x_src, x_dst, n_dst, edge_index, plan = _unpack(x_pair, edge_index)
+        if plan is not None and self.aggregator in ("mean", "sum"):
+            # Fused gather→reduce: the (E, F) message array never exists.
+            if self.aggregator == "mean":
+                agg = F.gather_segment_mean(x_src, plan)
+            else:
+                agg = F.gather_segment_sum(x_src, plan)
         else:
-            agg = F.segment_max(messages, edge_index[1], n_dst)
+            messages = F.gather_rows(x_src, edge_index[0])
+            if self.aggregator == "mean":
+                agg = F.segment_mean(messages, edge_index[1], n_dst)
+            elif self.aggregator == "sum":
+                agg = F.segment_sum(messages, edge_index[1], n_dst)
+            else:
+                agg = F.segment_max(messages, edge_index[1], n_dst, plan=plan)
         return self.lin_neigh(agg) + self.lin_root(x_dst)
 
     def __repr__(self) -> str:
@@ -113,9 +128,12 @@ class GATConv(Module):
         self.att_dst = init.uniform(-limit, limit, (heads, out_channels), rng=rng)
         self.bias = init.zeros(heads * out_channels) if bias else None
 
-    def forward(self, x_pair, edge_index: np.ndarray) -> Tensor:
-        x_src, x_dst, n_dst = _unpack(x_pair, edge_index)
+    def forward(self, x_pair, edge_index) -> Tensor:
+        x_src, x_dst, n_dst, edge_index, plan = _unpack(x_pair, edge_index)
         # Self loops: target node j is source node j (prefix property).
+        # The augmented plan is memoized on the batch plan, shared by all
+        # heads and both passes.
+        aug_plan = plan.with_self_loops() if plan is not None else None
         loops = np.arange(n_dst, dtype=np.int64)
         src = np.concatenate([edge_index[0], loops])
         dst = np.concatenate([edge_index[1], loops])
@@ -131,10 +149,10 @@ class GATConv(Module):
             logits = (
                 alpha_src[:, head][src] + alpha_dst[:, head][dst]
             ).leaky_relu(self.negative_slope)
-            alpha = F.segment_softmax(logits, dst, n_dst)
+            alpha = F.segment_softmax(logits, dst, n_dst, plan=aug_plan)
             h_head = h_src[:, head]
             weighted = F.gather_rows(h_head, src) * alpha.reshape(-1, 1)
-            head_outputs.append(F.segment_sum(weighted, dst, n_dst))
+            head_outputs.append(F.segment_sum(weighted, dst, n_dst, plan=aug_plan))
         out = (
             head_outputs[0]
             if self.heads == 1
@@ -162,9 +180,14 @@ class GINConv(Module):
         self.mlp = mlp
         self.eps = eps
 
-    def forward(self, x_pair, edge_index: np.ndarray) -> Tensor:
-        x_src, x_dst, n_dst = _unpack(x_pair, edge_index)
-        agg = F.segment_sum(F.gather_rows(x_src, edge_index[0]), edge_index[1], n_dst)
+    def forward(self, x_pair, edge_index) -> Tensor:
+        x_src, x_dst, n_dst, edge_index, plan = _unpack(x_pair, edge_index)
+        if plan is not None:
+            agg = F.gather_segment_sum(x_src, plan)
+        else:
+            agg = F.segment_sum(
+                F.gather_rows(x_src, edge_index[0]), edge_index[1], n_dst
+            )
         return self.mlp(agg + x_dst * (1.0 + self.eps))
 
     def __repr__(self) -> str:

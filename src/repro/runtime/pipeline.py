@@ -51,8 +51,20 @@ __all__ = ["EpochStats", "SerialExecutor", "PipelinedExecutor", "StagedExecutor"
 TrainFn = Callable[[DeviceBatch], float]
 
 
+def _check_compute(compute: str) -> str:
+    if compute not in ("fused", "legacy"):
+        raise ValueError(f"unknown compute mode {compute!r}")
+    return compute
+
+
 class SerialExecutor:
-    """Listing-1 workflow: every stage blocks the main thread (depth 0)."""
+    """Listing-1 workflow: every stage blocks the main thread (depth 0).
+
+    ``compute`` selects the kernel generation: ``"fused"`` (default) builds
+    per-batch aggregation plans in the slice stage for the fused kernels;
+    ``"legacy"`` skips them, keeping the original per-call-argsort path
+    (byte-identical results — the twin-kernel contract).
+    """
 
     def __init__(
         self,
@@ -62,16 +74,18 @@ class SerialExecutor:
         tracer: Optional[Tracer] = None,
         seed: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        compute: str = "fused",
     ) -> None:
         self.sampler = sampler
         self.store = store
         self.device = device
         self.tracer = tracer or Tracer(enabled=False)
         self.seed = seed
+        self.compute = _check_compute(compute)
         self._pipeline = StagedPipeline(
             [
                 SampleStage(lambda: sampler),
-                SliceStage(store, reference=True),
+                SliceStage(store, reference=True, build_plans=self.compute == "fused"),
                 TransferStage(device),
                 ComputeStage(),
             ],
@@ -104,9 +118,11 @@ class _PooledExecutor:
         seed: int = 0,
         counters: Optional[Counters] = None,
         metrics: Optional[MetricsRegistry] = None,
+        compute: str = "fused",
     ) -> None:
         self.store = store
         self.device = device
+        self.compute = _check_compute(compute)
         self.tracer = tracer or Tracer(enabled=False)
         #: one shared sink for sampler, slicer and pinned-pool telemetry
         self.counters = counters if counters is not None else Counters()
@@ -152,6 +168,7 @@ class PipelinedExecutor(_PooledExecutor):
                 self.store,
                 pinned_pool=self.pinned_pool,
                 workers=num_workers,
+                build_plans=self.compute == "fused",
             ),
             TransferStage(self.device),
             ComputeStage(),
@@ -166,7 +183,11 @@ class StagedExecutor(_PooledExecutor):
     def _build_stages(self, sampler_factory, num_workers):
         return [
             SampleStage(sampler_factory, workers=num_workers),
-            SliceStage(self.store, pinned_pool=self.pinned_pool),
+            SliceStage(
+                self.store,
+                pinned_pool=self.pinned_pool,
+                build_plans=self.compute == "fused",
+            ),
             TransferStage(self.device),
             ComputeStage(),
         ]

@@ -43,7 +43,12 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
-from ..slicing.slicer import SlicedBatch, slice_batch_fused, slice_batch_reference
+from ..slicing.slicer import (
+    SlicedBatch,
+    build_aggregation_plans,
+    slice_batch_fused,
+    slice_batch_reference,
+)
 from ..slicing.store import FeatureStore
 from ..telemetry import Counters, MetricsRegistry
 from .device import Device, DeviceBatch, StreamEvent
@@ -89,6 +94,7 @@ class EpochStats:
     epoch_time: float = 0.0
     sample_time: float = 0.0  # sampling busy time
     slice_time: float = 0.0  # slicing busy time
+    plan_build_time: float = 0.0  # aggregation-plan build busy time
     transfer_time: float = 0.0  # blocking transfer (or transfer-wait) time
     train_time: float = 0.0  # device compute time
     prep_wait_time: float = 0.0  # pipelined: main thread starved for batches
@@ -108,8 +114,9 @@ class EpochStats:
 
     @property
     def batch_prep_time(self) -> float:
-        """Batch preparation = sampling + slicing (Table 1's first column)."""
-        return self.sample_time + self.slice_time
+        """Batch preparation = sampling + slicing + aggregation-plan build
+        (Table 1's first column)."""
+        return self.sample_time + self.slice_time + self.plan_build_time
 
     # ------------------------------------------------------------------
     # Recording (fields + registry in lockstep)
@@ -120,6 +127,8 @@ class EpochStats:
             self.sample_time += seconds
         elif stage == "slice":
             self.slice_time += seconds
+        elif stage == "plan_build":
+            self.plan_build_time += seconds
         if self.metrics is not None:
             self.metrics.histogram("stage_seconds", stage=stage).observe(seconds)
 
@@ -147,17 +156,26 @@ class EpochStats:
         """
         total = max(self.epoch_time, 1e-12)
         if self.metrics is not None:
-            return {
+            out = {
                 stage: self.metrics.value("caller_seconds", stage=stage) / total
                 for stage in self.BREAKDOWN_STAGES
             }
+            plan_busy = self.metrics.value("stage_seconds", stage="plan_build")
+            if plan_busy > 0.0:
+                # Busy fraction (already inside batch_prep on serial runs);
+                # surfaced so plan cost is visible in overlapped runs too.
+                out["plan_build"] = plan_busy / total
+            return out
         blocking_prep = 0.0 if self.overlapped else self.batch_prep_time
-        return {
+        out = {
             "batch_prep": blocking_prep / total,
             "transfer": self.transfer_time / total,
             "train": self.train_time / total,
             "prep_wait": self.prep_wait_time / total,
         }
+        if self.plan_build_time > 0.0:
+            out["plan_build"] = self.plan_build_time / total
+        return out
 
 
 #: queue-depth histogram bins: one per occupancy level up to 16 batches
@@ -314,6 +332,12 @@ class SliceStage(Stage):
     (Section 4.2's multiprocessing analogue) — the SerialExecutor policy;
     otherwise the fused single-gather path is used, writing straight into a
     pinned slot when the batch fits the pool.
+
+    ``build_plans=True`` additionally builds each MFG layer's
+    :class:`~repro.tensor.plan.AggregationPlan` here — on the prepare side
+    of the pipeline, overlapped with compute — so the fused aggregation
+    kernels find their sort metadata ready and the per-batch argsort cost
+    leaves the training critical path.
     """
 
     name = "slice"
@@ -324,44 +348,50 @@ class SliceStage(Stage):
         pinned_pool: Optional[PinnedBufferPool] = None,
         reference: bool = False,
         workers: int = 1,
+        build_plans: bool = False,
     ):
         super().__init__()
         self.store = store
         self.pinned_pool = pinned_pool
         self.reference = reference
         self.workers = workers
+        self.build_plans = build_plans
 
     def process(self, env: Envelope, state, resource: str) -> None:
         with _timed_span(self.ctx, env, "slice", resource):
             if self.reference:
                 env.sliced = slice_batch_reference(self.store, env.mfg)
-                return
-            pool = self.pinned_pool
-            mfg = env.mfg
-            if pool is not None and (
-                len(mfg.n_id) <= pool.max_rows and mfg.batch_size <= pool.max_batch
-            ):
-                buffer = pool.acquire()
-                env.buffer = buffer
-                env.buffer_pool = pool
-                env.sliced = slice_batch_fused(
-                    self.store,
-                    mfg,
-                    xs_out=buffer.features,
-                    ys_out=buffer.labels,
-                    pinned_slot=buffer.slot,
-                    counters=self.ctx.counters,
-                    metrics=self.ctx.metrics,
-                )
             else:
-                if pool is not None:
-                    self.ctx.counters.inc("pool_overflow_batches")
-                env.sliced = slice_batch_fused(
-                    self.store,
-                    mfg,
-                    counters=self.ctx.counters,
-                    metrics=self.ctx.metrics,
-                )
+                pool = self.pinned_pool
+                mfg = env.mfg
+                if pool is not None and (
+                    len(mfg.n_id) <= pool.max_rows
+                    and mfg.batch_size <= pool.max_batch
+                ):
+                    buffer = pool.acquire()
+                    env.buffer = buffer
+                    env.buffer_pool = pool
+                    env.sliced = slice_batch_fused(
+                        self.store,
+                        mfg,
+                        xs_out=buffer.features,
+                        ys_out=buffer.labels,
+                        pinned_slot=buffer.slot,
+                        counters=self.ctx.counters,
+                        metrics=self.ctx.metrics,
+                    )
+                else:
+                    if pool is not None:
+                        self.ctx.counters.inc("pool_overflow_batches")
+                    env.sliced = slice_batch_fused(
+                        self.store,
+                        mfg,
+                        counters=self.ctx.counters,
+                        metrics=self.ctx.metrics,
+                    )
+        if self.build_plans:
+            with _timed_span(self.ctx, env, "plan_build", resource):
+                build_aggregation_plans(env.mfg, metrics=self.ctx.metrics)
 
 
 class PrepareStage(Stage):
@@ -381,13 +411,14 @@ class PrepareStage(Stage):
         store: FeatureStore,
         pinned_pool: Optional[PinnedBufferPool] = None,
         workers: int = 1,
+        build_plans: bool = False,
     ):
         super().__init__()
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.sampler_factory = sampler_factory
         self.workers = workers
-        self._slice = SliceStage(store, pinned_pool=pinned_pool)
+        self._slice = SliceStage(store, pinned_pool=pinned_pool, build_plans=build_plans)
         self._sample = SampleStage(sampler_factory)
 
     def bind(self, ctx: PipelineContext) -> None:
@@ -628,7 +659,9 @@ class StagedPipeline:
         if not stats.overlapped:
             stats.record_caller(
                 "batch_prep",
-                timings.get("sample", 0.0) + timings.get("slice", 0.0),
+                timings.get("sample", 0.0)
+                + timings.get("slice", 0.0)
+                + timings.get("plan_build", 0.0),
             )
         if not self.prefetch_depth:
             stats.record_caller("transfer", timings.get("transfer", 0.0))

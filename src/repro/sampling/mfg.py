@@ -17,10 +17,12 @@ the model listings from the paper's appendix port verbatim:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 import numpy as np
+
+from ..tensor.plan import AggregationPlan
 
 __all__ = ["Adj", "MFG"]
 
@@ -37,6 +39,10 @@ class Adj:
     edge_index: np.ndarray
     e_id: Optional[np.ndarray]
     size: tuple[int, int]
+    #: optional precomputed segment-reduction metadata, built once per batch
+    #: in the prepare/slice stage and reused by every layer pass; excluded
+    #: from iteration/compare so the PyG 3-tuple contract is unchanged.
+    plan: Optional[AggregationPlan] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         self.edge_index = np.ascontiguousarray(self.edge_index, dtype=np.int64)
@@ -60,7 +66,15 @@ class Adj:
             if self.edge_index[1].max() >= n_dst or self.edge_index[1].min() < 0:
                 raise ValueError("destination ids out of range")
 
+    def build_plan(self) -> AggregationPlan:
+        """Build (and cache) this layer's :class:`AggregationPlan`."""
+        if self.plan is None:
+            self.plan = AggregationPlan.from_edge_index(self.edge_index, self.size)
+        return self.plan
+
     def nbytes(self) -> int:
+        # Plans are prepare-stage metadata, deliberately excluded from the
+        # transfer accounting (the paper's pipeline moves features/topology).
         e_id_bytes = self.e_id.nbytes if self.e_id is not None else 0
         return self.edge_index.nbytes + e_id_bytes
 
@@ -99,6 +113,11 @@ class MFG:
     def nbytes(self) -> int:
         """Bytes of adjacency payload (what data transfer must move)."""
         return self.n_id.nbytes + sum(adj.nbytes() for adj in self.adjs)
+
+    def build_plans(self) -> None:
+        """Build every layer's :class:`AggregationPlan` (idempotent)."""
+        for adj in self.adjs:
+            adj.build_plan()
 
     def validate(self) -> None:
         """Check all MFG invariants (telescoping sizes, prefix property)."""

@@ -20,7 +20,12 @@ from ..sampling.mfg import MFG
 from ..telemetry import Counters, MetricsRegistry
 from .store import FeatureStore
 
-__all__ = ["SlicedBatch", "slice_batch_reference", "slice_batch_fused"]
+__all__ = [
+    "SlicedBatch",
+    "slice_batch_reference",
+    "slice_batch_fused",
+    "build_aggregation_plans",
+]
 
 #: MFG-node-count bins for the per-batch slice-size histogram
 _ROW_BUCKETS = tuple(float(4 ** exp) for exp in range(2, 13))
@@ -97,3 +102,22 @@ def slice_batch_fused(
             "slice_bytes", pinned="yes" if pinned_slot is not None else "no"
         ).inc(xs.nbytes + ys.nbytes)
     return SlicedBatch(mfg=mfg, xs=xs, ys=ys, pinned_slot=pinned_slot)
+
+
+def build_aggregation_plans(
+    mfg: MFG, metrics: Optional[MetricsRegistry] = None
+) -> MFG:
+    """Build every layer's :class:`~repro.tensor.plan.AggregationPlan`.
+
+    Runs in the prepare/slice stage — i.e. on pipeline workers, overlapped
+    with compute — so the per-batch argsort cost leaves the training
+    critical path entirely.  Idempotent; returns ``mfg`` for chaining.
+    """
+    if metrics is not None:
+        with metrics.timer("plan_build_seconds").time():
+            mfg.build_plans()
+        metrics.counter("aggregation_plans_built").inc(len(mfg.adjs))
+        metrics.counter("plan_build_edges").inc(mfg.total_edges())
+    else:
+        mfg.build_plans()
+    return mfg

@@ -72,6 +72,7 @@ class RunReport:
                 "epoch_s": float(stats.epoch_time),
                 "sample_s": float(stats.sample_time),
                 "slice_s": float(stats.slice_time),
+                "plan_build_s": float(getattr(stats, "plan_build_time", 0.0)),
                 "transfer_s": float(stats.transfer_time),
                 "train_s": float(stats.train_time),
                 "prep_wait_s": float(stats.prep_wait_time),

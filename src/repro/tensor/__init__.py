@@ -7,10 +7,36 @@ Public surface:
   the segment ops implementing message passing.
 - :mod:`repro.tensor.init` — Glorot/Kaiming initializers.
 - :mod:`repro.tensor.kernels` — non-differentiable numpy kernels (scatter,
-  segment reductions) shared with the graph substrate.
+  segment reductions, fused gather→reduce, fused linear) shared with the
+  graph substrate.
+- :class:`AggregationPlan` — precomputed per-batch segment-reduction
+  metadata reused across layers and passes.
+- :class:`Workspace` + ``workspace_scope``/``compute_scope`` — the per-step
+  buffer pool and fused/legacy kernel switch.
 """
 
 from . import functional, init, kernels
+from .plan import AggregationPlan
 from .tensor import Tensor, is_grad_enabled, no_grad
+from .workspace import (
+    Workspace,
+    compute_scope,
+    current_workspace,
+    is_fused_compute,
+    workspace_scope,
+)
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "init", "kernels"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "init",
+    "kernels",
+    "AggregationPlan",
+    "Workspace",
+    "workspace_scope",
+    "current_workspace",
+    "compute_scope",
+    "is_fused_compute",
+]

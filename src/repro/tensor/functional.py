@@ -5,6 +5,16 @@ Covers the ops needed by the paper's four architectures (appendix listings):
 ``nll_loss``/``cross_entropy``, plus the segment ops that implement message
 passing over bipartite message-flow-graph layers (``segment_sum`` /
 ``segment_mean`` / ``segment_max`` / ``segment_softmax``).
+
+The segment ops accept an optional precomputed
+:class:`~repro.tensor.plan.AggregationPlan` (``plan=``): when given, the
+per-call argsort/flat-index setup inside the kernels is skipped and the
+fused column-blocked kernels run instead — bit-for-bit identical results
+(see ``tests/tensor/test_fused_kernels.py``).  ``gather_segment_sum`` /
+``gather_segment_mean`` fuse the row gather *into* the reduction so the
+``(E, F)`` message array never exists; :func:`linear` collapses its
+matmul/transpose/add chain into one tape node inside
+``compute_scope("fused")``.
 """
 
 from __future__ import annotations
@@ -14,7 +24,9 @@ from typing import Optional
 import numpy as np
 
 from . import kernels
+from .plan import AggregationPlan
 from .tensor import Tensor, is_grad_enabled
+from .workspace import is_fused_compute
 
 __all__ = [
     "relu",
@@ -29,7 +41,10 @@ __all__ = [
     "segment_max",
     "segment_softmax",
     "gather_rows",
+    "gather_segment_sum",
+    "gather_segment_mean",
     "linear",
+    "linear_relu",
 ]
 
 
@@ -41,12 +56,54 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
     return x.leaky_relu(negative_slope)
 
 
-def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
-    """``x @ weight.T + bias`` with PyTorch weight layout ``(out, in)``."""
+def linear(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    fused: Optional[bool] = None,
+) -> Tensor:
+    """``x @ weight.T + bias`` with PyTorch weight layout ``(out, in)``.
+
+    Inside ``compute_scope("fused")`` (or with ``fused=True``) the
+    matmul/transpose/add chain collapses into one tape node backed by
+    :func:`repro.tensor.kernels.linear_forward` — bitwise-identical output
+    and gradients, three fewer tape nodes and temporaries per call.
+    """
+    if fused is None:
+        fused = is_fused_compute()
+    if fused:
+        return _fused_linear(x, weight, bias)
     out = x @ weight.T
     if bias is not None:
         out = out + bias
     return out
+
+
+def _fused_linear(
+    x: Tensor, weight: Tensor, bias: Optional[Tensor], relu: bool = False
+) -> Tensor:
+    data = kernels.linear_forward(
+        x.data, weight.data, None if bias is None else bias.data, relu=relu
+    )
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray):
+        grad_x, grad_w, grad_b = kernels.linear_backward(
+            g, x.data, weight.data, data, has_bias=bias is not None, relu=relu
+        )
+        grads = [(x, grad_x), (weight, grad_w)]
+        if bias is not None:
+            grads.append((bias, grad_b))
+        return tuple(grads)
+
+    return Tensor._make(data, parents, backward, "linear_relu" if relu else "linear")
+
+
+def linear_relu(
+    x: Tensor, weight: Tensor, bias: Optional[Tensor] = None
+) -> Tensor:
+    """Fused ``relu(x @ weight.T + bias)`` as a single tape node."""
+    return _fused_linear(x, weight, bias, relu=True)
 
 
 def dropout(
@@ -147,10 +204,47 @@ def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
     return x.gather_rows(index)
 
 
-def segment_sum(values: Tensor, index: np.ndarray, n_segments: int) -> Tensor:
+def gather_segment_sum(x: Tensor, plan: AggregationPlan) -> Tensor:
+    """Fused ``segment_sum(x[plan.src], plan.dst, plan.n_dst)``.
+
+    One tape node replacing the gather→segment_sum chain; neither direction
+    materializes the ``(E, F)`` per-edge array.  Bitwise-identical to the
+    legacy chain in both passes.
+    """
+    data = kernels.fused_gather_segment_sum(x.data, plan)
+    n_rows = x.shape[0]
+
+    def backward(g: np.ndarray):
+        return ((x, kernels.fused_gather_scatter_add(g, plan, n_rows)),)
+
+    return Tensor._make(data, (x,), backward, "gather_segment_sum")
+
+
+def gather_segment_mean(x: Tensor, plan: AggregationPlan) -> Tensor:
+    """Fused ``segment_mean(x[plan.src], plan.dst, plan.n_dst)``."""
+    data = kernels.fused_gather_segment_mean(x.data, plan)
+    counts = np.maximum(plan.counts, 1).astype(x.dtype)
+    n_rows = x.shape[0]
+
+    def backward(g: np.ndarray):
+        scaled = g / counts[:, None]
+        return ((x, kernels.fused_gather_scatter_add(scaled, plan, n_rows)),)
+
+    return Tensor._make(data, (x,), backward, "gather_segment_mean")
+
+
+def segment_sum(
+    values: Tensor,
+    index: np.ndarray,
+    n_segments: int,
+    plan: Optional[AggregationPlan] = None,
+) -> Tensor:
     """Differentiable per-segment sum, the AGG of GIN-style models."""
     index = np.asarray(index)
-    data = kernels.segment_sum(values.data, index, n_segments)
+    if plan is not None:
+        data = kernels.plan_segment_sum(values.data, plan)
+    else:
+        data = kernels.segment_sum(values.data, index, n_segments)
 
     def backward(g: np.ndarray):
         return ((values, g[index]),)
@@ -158,13 +252,22 @@ def segment_sum(values: Tensor, index: np.ndarray, n_segments: int) -> Tensor:
     return Tensor._make(data, (values,), backward, "segment_sum")
 
 
-def segment_mean(values: Tensor, index: np.ndarray, n_segments: int) -> Tensor:
+def segment_mean(
+    values: Tensor,
+    index: np.ndarray,
+    n_segments: int,
+    plan: Optional[AggregationPlan] = None,
+) -> Tensor:
     """Differentiable per-segment mean, the AGG of GraphSAGE-mean."""
     index = np.asarray(index)
-    data = kernels.segment_mean(values.data, index, n_segments)
-    counts = np.maximum(kernels.segment_counts(index, n_segments), 1).astype(
-        values.dtype
-    )
+    if plan is not None:
+        data = kernels.plan_segment_mean(values.data, plan)
+        counts = np.maximum(plan.counts, 1).astype(values.dtype)
+    else:
+        data = kernels.segment_mean(values.data, index, n_segments)
+        counts = np.maximum(kernels.segment_counts(index, n_segments), 1).astype(
+            values.dtype
+        )
 
     def backward(g: np.ndarray):
         scaled = g / (counts[:, None] if g.ndim == 2 else counts)
@@ -173,10 +276,18 @@ def segment_mean(values: Tensor, index: np.ndarray, n_segments: int) -> Tensor:
     return Tensor._make(data, (values,), backward, "segment_mean")
 
 
-def segment_max(values: Tensor, index: np.ndarray, n_segments: int) -> Tensor:
+def segment_max(
+    values: Tensor,
+    index: np.ndarray,
+    n_segments: int,
+    plan: Optional[AggregationPlan] = None,
+) -> Tensor:
     """Differentiable per-segment max (pooling aggregator)."""
     index = np.asarray(index)
-    data, argmax = kernels.segment_max(values.data, index, n_segments)
+    if plan is not None:
+        data, argmax = kernels.plan_segment_max(values.data, plan)
+    else:
+        data, argmax = kernels.segment_max(values.data, index, n_segments)
 
     def backward(g: np.ndarray):
         grad = np.zeros_like(values.data)
@@ -191,7 +302,12 @@ def segment_max(values: Tensor, index: np.ndarray, n_segments: int) -> Tensor:
     return Tensor._make(data, (values,), backward, "segment_max")
 
 
-def segment_softmax(scores: Tensor, index: np.ndarray, n_segments: int) -> Tensor:
+def segment_softmax(
+    scores: Tensor,
+    index: np.ndarray,
+    n_segments: int,
+    plan: Optional[AggregationPlan] = None,
+) -> Tensor:
     """Softmax of ``scores`` normalized within each segment.
 
     This is the attention-coefficient normalization of GAT: edge scores are
@@ -201,16 +317,27 @@ def segment_softmax(scores: Tensor, index: np.ndarray, n_segments: int) -> Tenso
     index = np.asarray(index)
     if scores.ndim != 1:
         raise ValueError("segment_softmax expects 1-D scores (one per edge)")
-    seg_max, _ = kernels.segment_max(scores.data, index, n_segments)
+    if plan is not None:
+        # The plan path also skips the argmax recovery the legacy kernel
+        # always performs — the attention normalizer discards it anyway.
+        seg_max, _ = kernels.plan_segment_max(scores.data, plan, compute_argmax=False)
+    else:
+        seg_max, _ = kernels.segment_max(scores.data, index, n_segments)
     # Empty segments have max 0, harmless: no edges reference them.
     shifted = scores.data - seg_max[index]
     exp = np.exp(shifted)
-    denom = kernels.segment_sum(exp, index, n_segments)
+    if plan is not None:
+        denom = kernels.plan_segment_sum(exp, plan)
+    else:
+        denom = kernels.segment_sum(exp, index, n_segments)
     denom = np.maximum(denom, np.finfo(scores.dtype).tiny)
     out = exp / denom[index]
 
     def backward(g: np.ndarray):
-        weighted = kernels.segment_sum(g * out, index, n_segments)
+        if plan is not None:
+            weighted = kernels.plan_segment_sum(g * out, plan)
+        else:
+            weighted = kernels.segment_sum(g * out, index, n_segments)
         return ((scores, out * (g - weighted[index])),)
 
     return Tensor._make(out.astype(scores.dtype), (scores,), backward, "segment_softmax")

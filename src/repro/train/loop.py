@@ -28,7 +28,7 @@ from ..sampling.fast_sampler import FastNeighborSampler
 from ..sampling.pyg_sampler import PyGNeighborSampler
 from ..slicing.store import FeatureStore
 from ..telemetry import Counters, MetricsRegistry, RunReport
-from ..tensor import Tensor, functional as F
+from ..tensor import Tensor, Workspace, compute_scope, functional as F, workspace_scope
 from .config import ExperimentConfig
 from .inference import sampled_inference
 from .metrics import accuracy
@@ -69,6 +69,12 @@ class Trainer:
     infer_executor:
         Executor policy for :meth:`predict`/:meth:`evaluate` (Section 5.4's
         pipelined inference when set to ``"pipelined"``/``"staged"``).
+    compute:
+        ``"fused"`` (default) — per-batch aggregation plans built in the
+        prepare stage, fused gather→reduce and linear kernels, and a
+        workspace buffer pool recycled across batches; ``"legacy"`` — the
+        original kernels.  Byte-identical training results either way (the
+        twin-kernel contract; pinned by the determinism tests).
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class Trainer:
         seed: int = 0,
         tracer: Optional[Tracer] = None,
         infer_executor: str = "serial",
+        compute: str = "fused",
     ) -> None:
         if executor not in ("serial", "pipelined", "staged"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -89,6 +96,9 @@ class Trainer:
             raise ValueError(f"unknown sampler {sampler!r}")
         if infer_executor not in ("serial", "pipelined", "staged"):
             raise ValueError(f"unknown infer_executor {infer_executor!r}")
+        if compute not in ("fused", "legacy"):
+            raise ValueError(f"unknown compute mode {compute!r}")
+        self.compute = compute
         self.dataset = dataset
         self.config = config
         self.seed = seed
@@ -122,6 +132,7 @@ class Trainer:
                 device=self.device,
                 tracer=self.tracer,
                 seed=seed,
+                compute=compute,
             )
         else:
             executor_cls = (
@@ -135,19 +146,30 @@ class Trainer:
                 max_batch_hint=config.batch_size,
                 tracer=self.tracer,
                 seed=seed,
+                compute=compute,
             )
+        # One pool per trainer, shared across batches/epochs; counters land
+        # in the executor's cumulative registry.
+        self._workspace = (
+            Workspace(metrics=self._executor.metrics) if compute == "fused" else None
+        )
 
     # ------------------------------------------------------------------
     def _train_fn(self) -> Callable[[DeviceBatch], float]:
         model, optimizer = self.model, self.optimizer
+        mode, workspace = self.compute, self._workspace
 
         def step(batch: DeviceBatch) -> float:
             model.train()
             optimizer.zero_grad()
             x = Tensor(batch.xs.data)
-            out = model(x, batch.mfg.adjs)
-            loss = F.nll_loss(out, batch.ys.data)
-            loss.backward()
+            # Forward/backward run under the step's compute context: fused
+            # kernels + pooled buffers (released on scope exit — nothing on
+            # the tape outlives the step: parameter grads are copies).
+            with compute_scope(mode), workspace_scope(workspace):
+                out = model(x, batch.mfg.adjs)
+                loss = F.nll_loss(out, batch.ys.data)
+                loss.backward()
             optimizer.step()
             return loss.item()
 
@@ -189,6 +211,7 @@ class Trainer:
                 "sampler": type(self._sampler_factory()).__name__,
                 "num_workers": self.num_workers,
                 "seed": self.seed,
+                "compute": self.compute,
             },
         )
         for epoch, stats in enumerate(result.epoch_stats):

@@ -1,0 +1,80 @@
+"""Contract tests for ``benchmarks/bench_compute_kernels.py`` and its artifact.
+
+Mirrors the hotpath/pipeline contracts: a fresh ``--smoke`` run must
+satisfy the schema, the committed full-mode ``BENCH_compute_kernels.json``
+must stay valid, and the headline claims — plan reuse and fusion beating
+the legacy per-call kernels, and the fused epoch beating the legacy epoch
+by the PR's >= 1.4x bar on the products configuration — must hold in the
+committed numbers.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(BENCH_DIR))
+
+import bench_compute_kernels  # noqa: E402
+import check_bench_json  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def smoke_doc(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_compute_kernels.json"
+    assert bench_compute_kernels.main(["--smoke", "--output", str(out)]) == 0
+    return json.loads(out.read_text()), out
+
+
+class TestSmokeRun:
+    def test_smoke_artifact_satisfies_schema(self, smoke_doc):
+        doc, _ = smoke_doc
+        assert check_bench_json.validate(doc) == []
+        assert doc["mode"] == "smoke"
+
+    def test_smoke_covers_all_groups_and_variants(self, smoke_doc):
+        doc, _ = smoke_doc
+        seen = {(r["bench"], r["variant"]) for r in doc["rows"]}
+        assert seen == {
+            ("aggregation", "legacy"),
+            ("aggregation", "plan_reuse"),
+            ("aggregation", "fused"),
+            ("alloc", "fresh"),
+            ("alloc", "pooled"),
+            ("epoch", "legacy"),
+            ("epoch", "fused"),
+        }
+
+    def test_cli_roundtrip(self, smoke_doc):
+        _, path = smoke_doc
+        assert check_bench_json.main([str(path)]) == 0
+
+
+class TestCommittedArtifact:
+    @pytest.fixture(scope="class")
+    def committed(self):
+        path = REPO_ROOT / "BENCH_compute_kernels.json"
+        assert path.exists(), (
+            "committed BENCH_compute_kernels.json missing from repo root"
+        )
+        return json.loads(path.read_text())
+
+    def test_valid_full_mode(self, committed):
+        assert check_bench_json.validate(committed, min_reps=5) == []
+        assert committed["mode"] == "full"
+
+    def test_plan_and_fusion_beat_legacy_kernels(self, committed):
+        for name, entry in committed["summary"].items():
+            assert entry["plan_reuse_speedup"] > 1.0, name
+            assert entry["fused_speedup"] > entry["plan_reuse_speedup"], name
+
+    def test_fused_epoch_meets_the_acceptance_bar(self, committed):
+        """The PR's acceptance claim: >= 1.4x end-to-end fused+pooled epoch
+        speedup on the synthetic products-scale configuration (and a win on
+        every other dataset)."""
+        assert committed["summary"]["products"]["fused_epoch_speedup"] >= 1.4
+        for name, entry in committed["summary"].items():
+            assert entry["fused_epoch_speedup"] > 1.0, name

@@ -71,7 +71,8 @@ class TestRunReportArtifact:
         assert doc["bench"] == "run_report"
         assert doc["totals"]["epochs"] == 2
         assert doc["evaluation"].keys() == {"val", "test"}
-        # The overlapped executor reports the blocking-perspective stages.
+        # The overlapped executor reports the blocking-perspective stages,
+        # plus the plan-build busy fraction (fused compute is the default).
         for row in doc["epochs"]:
             assert row["overlapped"] is True
             assert set(row["breakdown"]) == {
@@ -79,11 +80,16 @@ class TestRunReportArtifact:
                 "transfer",
                 "train",
                 "prep_wait",
+                "plan_build",
             }
-        # Registry snapshot made it into the artifact.
+            assert row["plan_build_s"] > 0.0
+        # Registry snapshot made it into the artifact, including the
+        # fused-compute instrumentation.
         names = {entry["name"] for entry in doc["metrics"]}
         assert "caller_seconds" in names
         assert "batches" in names
+        assert "plan_build_seconds" in names
+        assert "workspace_hits" in names or "workspace_misses" in names
 
     def test_registry_accounting_matches_epoch_rows(self, artifacts):
         _, _, report_path = artifacts

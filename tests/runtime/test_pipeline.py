@@ -175,7 +175,7 @@ class TestPipelinedExecutor:
         executor.run_epoch(batches, train_fn)
         device.shutdown()
         stages = {e.name for e in tracer.events}
-        assert stages == {"sample", "slice", "transfer", "train"}
+        assert stages == {"sample", "slice", "plan_build", "transfer", "train"}
         rendered = render_timeline(tracer)
         assert "gpu" in rendered and "dma" in rendered
 
