@@ -101,6 +101,24 @@ REPORT_EPOCH_KEYS = (
 )
 REPORT_METRIC_KINDS = {"counter", "gauge", "histogram", "timer"}
 
+#: sentinel: the perf-regression gate (benchmarks/sentinel.py)
+SENTINEL_CHECK_KEYS = (
+    "artifact",
+    "metric",
+    "kind",
+    "direction",
+    "baseline",
+    "current",
+    "allowed",
+    "status",
+)
+SENTINEL_KINDS = {"seconds", "ratio"}
+SENTINEL_DIRECTIONS = {"lower-better", "higher-better"}
+SENTINEL_STATUSES = {"pass", "regressed", "missing"}
+
+#: bottleneck-attribution verdict vocabulary (repro.telemetry.attribution)
+ATTRIBUTION_VERDICTS = {"prep-bound", "transfer-bound", "compute-bound"}
+
 
 def _is_positive_number(value) -> bool:
     return (
@@ -215,6 +233,135 @@ def validate_run_report(doc: dict) -> list[str]:
         for split, value in doc["evaluation"].items():
             if not _is_finite_number(value):
                 errors.append(f"evaluation[{split!r}] must be a finite number")
+
+    # Optional continuous-monitoring sections (present when the run had a
+    # probe sampler attached / computed an attribution).
+    probes = doc.get("probes")
+    if probes is not None:
+        errors.extend(_validate_probes(probes))
+    attribution = doc.get("attribution")
+    if attribution is not None:
+        errors.extend(_validate_attribution(attribution))
+    return errors
+
+
+def _validate_probes(probes) -> list[str]:
+    """Violations in a run report's ``probes`` section."""
+    if not isinstance(probes, dict):
+        return ["probes must be an object"]
+    errors: list[str] = []
+    if not _is_positive_number(probes.get("interval_s")):
+        errors.append("probes.interval_s must be a finite positive number")
+    overhead = probes.get("overhead_fraction")
+    if not _is_finite_number(overhead) or overhead < 0:
+        errors.append("probes.overhead_fraction must be a finite non-negative number")
+    series = probes.get("series")
+    if not isinstance(series, list):
+        return errors + ["probes.series must be a list"]
+    for i, entry in enumerate(series):
+        if not isinstance(entry, dict):
+            errors.append(f"probes.series[{i}] is not an object")
+            continue
+        if not isinstance(entry.get("name"), str) or not entry.get("name"):
+            errors.append(f"probes.series[{i}].name must be a non-empty string")
+        t, values = entry.get("t"), entry.get("values")
+        if not isinstance(t, list) or not isinstance(values, list):
+            errors.append(f"probes.series[{i}] missing t/values lists")
+        elif len(t) != len(values):
+            errors.append(f"probes.series[{i}]: len(t) != len(values)")
+        elif not all(_is_finite_number(x) for x in t + values):
+            errors.append(f"probes.series[{i}]: non-finite sample")
+    return errors
+
+
+def _validate_attribution(attribution) -> list[str]:
+    """Violations in an ``attribution`` section (run report or epoch)."""
+    if not isinstance(attribution, dict):
+        return ["attribution must be an object"]
+    errors: list[str] = []
+    if attribution.get("verdict") not in ATTRIBUTION_VERDICTS:
+        errors.append(
+            f"attribution.verdict must be one of {sorted(ATTRIBUTION_VERDICTS)}, "
+            f"got {attribution.get('verdict')!r}"
+        )
+    shares = attribution.get("shares")
+    if not isinstance(shares, dict) or not shares:
+        errors.append("attribution.shares must be a non-empty object")
+    else:
+        for stage, share in shares.items():
+            if not _is_finite_number(share) or share < 0:
+                errors.append(
+                    f"attribution.shares[{stage!r}] must be a finite "
+                    "non-negative number"
+                )
+    idle = attribution.get("gpu_idle_fraction")
+    if not _is_finite_number(idle) or not 0 <= idle <= 1:
+        errors.append("attribution.gpu_idle_fraction must be a number in [0, 1]")
+    return errors
+
+
+def validate_sentinel(doc: dict) -> list[str]:
+    """Schema violations for a ``sentinel`` document (empty = valid).
+
+    The sentinel artifact carries no ``reps``/``rows``: it is a comparison
+    record, so the contract is internal consistency — every check row well
+    formed, and the summary tallies matching the rows.
+    """
+    errors: list[str] = []
+    if not isinstance(doc.get("schema_version"), int) or doc["schema_version"] < 1:
+        errors.append("schema_version must be an int >= 1")
+    if doc.get("mode") not in ("self", "compare"):
+        errors.append(f"mode must be 'self' or 'compare', got {doc.get('mode')!r}")
+    for key in ("rel_tolerance", "abs_floor_s", "abs_floor_ratio"):
+        if not _is_positive_number(doc.get(key)):
+            errors.append(f"{key} must be a finite positive number")
+
+    artifacts = doc.get("artifacts")
+    if not isinstance(artifacts, list) or not artifacts:
+        errors.append("artifacts must be a non-empty list")
+        artifacts = []
+    for i, entry in enumerate(artifacts):
+        if not isinstance(entry, dict) or not isinstance(entry.get("name"), str):
+            errors.append(f"artifacts[{i}] must be an object with a 'name' string")
+
+    checks = doc.get("checks")
+    if not isinstance(checks, list) or not checks:
+        errors.append("checks must be a non-empty list")
+        checks = []
+    regressed = 0
+    for i, check in enumerate(checks):
+        if not isinstance(check, dict):
+            errors.append(f"checks[{i}] is not an object")
+            continue
+        missing = [k for k in SENTINEL_CHECK_KEYS if k not in check]
+        if missing:
+            errors.append(f"checks[{i}] missing keys: {missing}")
+            continue
+        if check["kind"] not in SENTINEL_KINDS:
+            errors.append(f"checks[{i}].kind invalid: {check['kind']!r}")
+        if check["direction"] not in SENTINEL_DIRECTIONS:
+            errors.append(f"checks[{i}].direction invalid: {check['direction']!r}")
+        if check["status"] not in SENTINEL_STATUSES:
+            errors.append(f"checks[{i}].status invalid: {check['status']!r}")
+        elif check["status"] != "pass":
+            regressed += 1
+        for key in ("baseline", "allowed"):
+            if not _is_finite_number(check[key]):
+                errors.append(f"checks[{i}].{key} must be a finite number")
+        if check["current"] is not None and not _is_finite_number(check["current"]):
+            errors.append(f"checks[{i}].current must be a finite number or null")
+
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("summary must be an object")
+    elif checks and not errors:
+        if summary.get("checked") != len(checks):
+            errors.append("summary.checked != len(checks)")
+        if summary.get("regressed") != regressed:
+            errors.append("summary.regressed != count of non-pass checks")
+        expected = "pass" if regressed == 0 else "regressed"
+        if summary.get("status") != expected:
+            errors.append(f"summary.status must be {expected!r} for these checks")
     return errors
 
 
@@ -226,9 +373,11 @@ def validate(doc: dict, min_reps: int = 1) -> list[str]:
     bench = doc.get("bench")
     if bench == "run_report":
         return validate_run_report(doc)
+    if bench == "sentinel":
+        return validate_sentinel(doc)
     if bench not in SCHEMAS:
         return [
-            f"bench must be one of {sorted(SCHEMAS) + ['run_report']} "
+            f"bench must be one of {sorted(SCHEMAS) + ['run_report', 'sentinel']} "
             f"(e.g. 'sampler_hotpath'), got {bench!r}"
         ]
     groups, throughput_key, summary_keys = SCHEMAS[bench]
@@ -348,6 +497,12 @@ def main(argv: list[str] | None = None) -> int:
             status = max(status, 1)
         elif doc.get("bench") == "run_report":
             print(f"{path}: valid run report ({len(doc['epochs'])} epochs)")
+        elif doc.get("bench") == "sentinel":
+            summary = doc["summary"]
+            print(
+                f"{path}: valid sentinel ({summary['checked']} checks, "
+                f"{summary['regressed']} regressed)"
+            )
         else:
             print(f"{path}: valid ({len(doc['rows'])} rows, reps={doc['reps']})")
     return status

@@ -1,0 +1,29 @@
+"""Perf-regression sentinel (thin wrapper over ``repro.telemetry.sentinel``).
+
+Compares ``BENCH_*.json`` artifacts against the committed baselines at the
+repo root with noise-aware tolerance bands, writes the
+``BENCH_sentinel.json`` trajectory artifact, and exits non-zero on any
+regression.  The implementation lives in :mod:`repro.telemetry.sentinel`
+so the installed ``repro-sentinel`` console entry point shares it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sentinel.py                 # self-compare baselines
+    PYTHONPATH=src python benchmarks/sentinel.py fresh.json      # check one candidate
+    PYTHONPATH=src python benchmarks/sentinel.py --candidate-dir out/
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.telemetry.sentinel import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Bottleneck attribution: diagnose *why* the serial workflow is slow.
+
+Runs the same tiny training epoch through two configurations and diffs
+their bottleneck verdicts:
+
+- the standard PyTorch workflow (serial executor + reference PyG sampler),
+  which Figure 1(a) shows starving the GPU on batch preparation, and
+- the SALIENT configuration (staged executor + fast sampler), where
+  preparation overlaps compute and the verdict flips to compute-bound.
+
+The attribution machinery is the same one behind
+``python -m repro diagnose report.json``: blocking shares per stage group,
+lane utilization from the tracer, and a one-line verdict.
+
+    python examples/diagnose_bottleneck.py
+"""
+
+from dataclasses import replace
+
+from repro.datasets import get_dataset
+from repro.telemetry import Tracer
+from repro.train import Trainer, get_config
+
+EPOCHS = 2
+
+
+def run(executor: str, sampler: str):
+    """One short training run; returns the last epoch's attribution."""
+    dataset = get_dataset("arxiv", scale=0.1, seed=0)
+    config = replace(
+        get_config("arxiv", "sage"), batch_size=48, hidden_channels=32
+    )
+    tracer = Tracer()
+    trainer = Trainer(
+        dataset,
+        config,
+        executor=executor,
+        sampler=sampler,
+        seed=0,
+        tracer=tracer,
+    )
+    stats = None
+    for epoch in range(EPOCHS):
+        stats = trainer.train_epoch(epoch)
+    trainer.shutdown()
+    return stats.attribution(tracer)
+
+
+def main() -> None:
+    serial = run("serial", "pyg")
+    staged = run("staged", "fast")
+
+    print("standard workflow (serial executor, PyG sampler):")
+    print(f"  {serial.detail}")
+    print(
+        "  shares: "
+        + "  ".join(f"{k}={100 * v:.0f}%" for k, v in serial.shares.items())
+    )
+    print("SALIENT configuration (staged executor, fast sampler):")
+    print(f"  {staged.detail}")
+    print(
+        "  shares: "
+        + "  ".join(f"{k}={100 * v:.0f}%" for k, v in staged.shares.items())
+    )
+    print()
+    if serial.verdict != staged.verdict:
+        print(
+            f"verdict flip: {serial.verdict} -> {staged.verdict} — "
+            "overlapping batch preparation moved the bottleneck off the CPU."
+        )
+    else:
+        print(f"both runs are {serial.verdict} at this scale.")
+
+
+if __name__ == "__main__":
+    main()

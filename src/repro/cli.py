@@ -11,6 +11,9 @@ Commands
   stand-ins.
 - ``timeline`` — trace a few mini-batches through both executors and
   render Figure-1-style ASCII timelines.
+- ``diagnose`` — bottleneck attribution for a ``run_report`` JSON: blocking
+  shares, stall decomposition and the prep-/transfer-/compute-bound
+  verdict.
 """
 
 from __future__ import annotations
@@ -72,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a machine-readable run_report JSON artifact",
     )
+    train.add_argument(
+        "--probe-interval",
+        type=float,
+        default=10.0,
+        metavar="MS",
+        help="continuous-monitoring sampling period in milliseconds "
+        "(0 disables the probe sampler; probes only run when --report-out "
+        "or --trace-out is set)",
+    )
 
     simulate = sub.add_parser("simulate", help="run the calibrated performance model")
     simulate.add_argument("--dataset", default="papers")
@@ -90,12 +102,17 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--dataset", default="products")
     timeline.add_argument("--scale", type=float, default=0.375)
     timeline.add_argument("--batches", type=int, default=6)
+
+    diagnose = sub.add_parser(
+        "diagnose", help="bottleneck attribution for a run_report JSON"
+    )
+    diagnose.add_argument("report", help="path to a run_report JSON artifact")
     return parser
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.datasets import get_dataset
-    from repro.telemetry import Tracer
+    from repro.telemetry import ProbeSampler, Tracer
     from repro.train import Trainer, get_config
     from repro.train.config import ExperimentConfig
     from repro.train.loop import TrainResult
@@ -127,6 +144,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"hidden={config.hidden_channels} fanouts={config.train_fanouts}"
     )
     tracer = Tracer(enabled=args.trace_out is not None)
+    # Continuous monitoring only pays off when its series land somewhere:
+    # enable the sampler exactly when an artifact is requested.
+    want_probes = (
+        args.probe_interval > 0
+        and (args.report_out is not None or args.trace_out is not None)
+    )
+    probes = ProbeSampler(
+        interval=max(args.probe_interval, 0.001) / 1000.0,
+        enabled=want_probes,
+        clock=tracer.now,  # one time axis for spans and counter tracks
+    )
     trainer = Trainer(
         dataset,
         config,
@@ -136,21 +164,25 @@ def _cmd_train(args: argparse.Namespace) -> int:
         tracer=tracer,
         infer_executor=args.infer_executor,
         compute=args.compute,
+        probes=probes,
     )
     result = TrainResult()
-    for epoch in range(args.epochs):
-        stats = trainer.train_epoch(epoch)
-        result.epoch_stats.append(stats)
-        print(
-            f"epoch {epoch:3d}: loss={np.mean(stats.losses):.4f} "
-            f"time={stats.epoch_time * 1000:.0f}ms"
-        )
+    with probes:
+        for epoch in range(args.epochs):
+            stats = trainer.train_epoch(epoch)
+            result.epoch_stats.append(stats)
+            print(
+                f"epoch {epoch:3d}: loss={np.mean(stats.losses):.4f} "
+                f"time={stats.epoch_time * 1000:.0f}ms"
+            )
     val_acc = trainer.evaluate("val")
     test_acc = trainer.evaluate("test")
     print(f"val accuracy:  {val_acc:.4f}")
     print(f"test accuracy: {test_acc:.4f}")
+    if result.epoch_stats:
+        print(f"bottleneck: {result.epoch_stats[-1].attribution(tracer).detail}")
     if args.trace_out:
-        tracer.write_chrome_trace(args.trace_out)
+        tracer.write_chrome_trace(args.trace_out, probes=probes if want_probes else None)
         print(f"trace written to {args.trace_out}")
     if args.report_out:
         report = trainer.build_report(result)
@@ -292,11 +324,44 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import attribute_report, render_attribution
+
+    try:
+        with open(args.report) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"diagnose: cannot read {args.report}: {exc}", file=sys.stderr)
+        return 2
+    if doc.get("bench") != "run_report":
+        print(
+            f"diagnose: {args.report} is not a run_report artifact "
+            f"(bench={doc.get('bench')!r})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        attribution = attribute_report(doc)
+    except ValueError as exc:
+        print(f"diagnose: {exc}", file=sys.stderr)
+        return 2
+    config = doc.get("config") or {}
+    print(
+        f"run: {doc.get('command')} executor={config.get('executor')} "
+        f"sampler={config.get('sampler')} epochs={len(doc.get('epochs') or [])}"
+    )
+    print(render_attribution(attribution, epochs=doc.get("epochs")))
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "simulate": _cmd_simulate,
     "info": _cmd_info,
     "timeline": _cmd_timeline,
+    "diagnose": _cmd_diagnose,
 }
 
 

@@ -20,7 +20,7 @@ from .stages import (
     StageError,
     TransferStage,
 )
-from .trace import TraceEvent, Tracer, render_timeline
+from ..telemetry.tracer import TraceEvent, Tracer, render_timeline
 from .workers import BatchPreparationPool, PreparedBatch, estimate_max_rows
 
 __all__ = [

@@ -75,6 +75,16 @@ class DeviceFeatureCache:
         rows = self._row_of[n_id]
         return rows, rows >= 0
 
+    def register_probes(self, sampler) -> None:
+        """Expose the running hit rate to a continuous-monitoring sampler
+        (:class:`~repro.telemetry.monitor.ProbeSampler`)."""
+        sampler.add_probe("feature_cache/hit_rate", self.hit_rate, unit="fraction")
+        sampler.add_probe(
+            "feature_cache/bytes_saved",
+            lambda: float(self.bytes_saved),
+            unit="bytes",
+        )
+
 
 def transfer_batch_with_cache(
     device: Device,

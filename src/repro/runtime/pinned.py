@@ -96,6 +96,22 @@ class PinnedBufferPool:
         with self._mutex:
             return len(self._free)
 
+    def utilization(self) -> float:
+        """Fraction of slots currently checked out (1.0 = pool exhausted)."""
+        return 1.0 - self.free_slots() / self.total_slots
+
+    def register_probes(self, sampler) -> None:
+        """Expose pool occupancy to a continuous-monitoring sampler.
+
+        ``sampler`` is a :class:`~repro.telemetry.monitor.ProbeSampler`;
+        both probes are lock-protected reads, cheap enough for a 10 ms
+        sampling period.
+        """
+        sampler.add_probe(
+            "pinned_pool/free_slots", lambda: float(self.free_slots()), unit="slots"
+        )
+        sampler.add_probe("pinned_pool/utilization", self.utilization, unit="fraction")
+
     def nbytes(self) -> int:
         """Total pinned memory footprint."""
         return sum(b.features.nbytes + b.labels.nbytes for b in self._buffers)

@@ -32,6 +32,8 @@ import numpy as np
 from ..sampling.base import NeighborSamplerBase
 from ..slicing.store import FeatureStore
 from ..telemetry import Counters, MetricsRegistry
+from ..telemetry.monitor import ProbeSampler
+from ..telemetry.tracer import Tracer
 from .device import Device, DeviceBatch
 from .pinned import PinnedBufferPool
 from .stages import (
@@ -43,7 +45,6 @@ from .stages import (
     StagedPipeline,
     TransferStage,
 )
-from .trace import Tracer
 from .workers import estimate_max_rows
 
 __all__ = ["EpochStats", "SerialExecutor", "PipelinedExecutor", "StagedExecutor"]
@@ -75,6 +76,7 @@ class SerialExecutor:
         seed: int = 0,
         metrics: Optional[MetricsRegistry] = None,
         compute: str = "fused",
+        probes: Optional[ProbeSampler] = None,
     ) -> None:
         self.sampler = sampler
         self.store = store
@@ -82,6 +84,7 @@ class SerialExecutor:
         self.tracer = tracer or Tracer(enabled=False)
         self.seed = seed
         self.compute = _check_compute(compute)
+        self.probes = probes
         self._pipeline = StagedPipeline(
             [
                 SampleStage(lambda: sampler),
@@ -93,6 +96,7 @@ class SerialExecutor:
             seed=seed,
             tracer=self.tracer,
             metrics=metrics,
+            probes=probes,
         )
         self.counters = self._pipeline.ctx.counters
         self.metrics = self._pipeline.ctx.metrics
@@ -119,6 +123,7 @@ class _PooledExecutor:
         counters: Optional[Counters] = None,
         metrics: Optional[MetricsRegistry] = None,
         compute: str = "fused",
+        probes: Optional[ProbeSampler] = None,
     ) -> None:
         self.store = store
         self.device = device
@@ -127,9 +132,10 @@ class _PooledExecutor:
         #: one shared sink for sampler, slicer and pinned-pool telemetry
         self.counters = counters if counters is not None else Counters()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        probe = sampler_factory()
+        self.probes = probes
+        sizing_probe = sampler_factory()
         max_rows = max_rows_hint or estimate_max_rows(
-            probe.fanouts, max_batch_hint, store.num_nodes
+            sizing_probe.fanouts, max_batch_hint, store.num_nodes
         )
         self.pinned_pool = PinnedBufferPool(
             num_slots=pinned_slots,
@@ -140,6 +146,8 @@ class _PooledExecutor:
             counters=self.counters,
             metrics=self.metrics,
         )
+        if probes is not None and probes.enabled:
+            self.pinned_pool.register_probes(probes)
         self._pipeline = StagedPipeline(
             self._build_stages(sampler_factory, num_workers),
             prefetch_depth=prefetch_depth,
@@ -147,6 +155,7 @@ class _PooledExecutor:
             tracer=self.tracer,
             counters=self.counters,
             metrics=self.metrics,
+            probes=probes,
         )
 
     def _build_stages(self, sampler_factory, num_workers):

@@ -51,10 +51,11 @@ from ..slicing.slicer import (
 )
 from ..slicing.store import FeatureStore
 from ..telemetry import Counters, MetricsRegistry
+from ..telemetry.monitor import ProbeSampler
+from ..telemetry.tracer import Tracer
 from .device import Device, DeviceBatch, StreamEvent
 from .pinned import PinnedBuffer, PinnedBufferPool
 from .queues import BoundedOutputQueue, InputQueue, QueueClosed
-from .trace import Tracer
 
 __all__ = [
     "EpochStats",
@@ -177,6 +178,23 @@ class EpochStats:
             out["plan_build"] = self.plan_build_time / total
         return out
 
+    # ------------------------------------------------------------------
+    # Bottleneck attribution (PAPER Table 1's question, answered in code)
+    # ------------------------------------------------------------------
+    def attribution(self, tracer: Optional["Tracer"] = None):
+        """Bottleneck :class:`~repro.telemetry.attribution.Attribution`
+        for this epoch — blocking shares, gpu idle fraction and the
+        prep-/transfer-/compute-bound verdict; lane utilization is folded
+        in when a tracer that recorded this epoch is supplied."""
+        from ..telemetry.attribution import attribute_breakdown, attribute_trace
+
+        lanes = attribute_trace(tracer) if tracer is not None else None
+        return attribute_breakdown(self.breakdown(), lanes=lanes)
+
+    def verdict(self, tracer: Optional["Tracer"] = None) -> str:
+        """The epoch's one-word bottleneck verdict (e.g. ``prep-bound``)."""
+        return self.attribution(tracer).verdict
+
 
 #: queue-depth histogram bins: one per occupancy level up to 16 batches
 _DEPTH_BUCKETS = tuple(float(i) for i in range(17))
@@ -252,6 +270,9 @@ class PipelineContext:
     seed: int
     #: pipeline-lifetime metric registry (per-epoch registries merge in)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: continuous-monitoring sampler; overlapped runs register queue-depth,
+    #: stage-occupancy and in-flight probes against it (None = no probes)
+    probes: Optional[ProbeSampler] = None
 
 
 @contextmanager
@@ -524,6 +545,7 @@ class StagedPipeline:
         tracer: Optional[Tracer] = None,
         counters: Optional[Counters] = None,
         metrics: Optional[MetricsRegistry] = None,
+        probes: Optional[ProbeSampler] = None,
     ) -> None:
         if not stages:
             raise ValueError("need at least one stage")
@@ -537,6 +559,7 @@ class StagedPipeline:
             counters=counters if counters is not None else Counters(),
             seed=seed,
             metrics=metrics if metrics is not None else MetricsRegistry(),
+            probes=probes if probes is not None and probes.enabled else None,
         )
 
         stages = list(stages)
@@ -731,6 +754,7 @@ class _OverlappedRun:
         self.error: Optional[StageError] = None
         self._cancelled = False
         self._expected = 0
+        self._delivered = 0  # envelopes handed to the caller (caller thread)
         self._pending: dict[int, Envelope] = {}
         self._upstream_done = False
         self._lock = threading.Lock()
@@ -742,6 +766,13 @@ class _OverlappedRun:
             BoundedOutputQueue(max(pipeline.prefetch_depth, 1))
             for _ in pipeline.worker_stages
         ]
+        # Per-worker busy flags for the stage-occupancy probes: plain 0/1
+        # assignments (atomic under the GIL), summed by the sampler thread.
+        self._busy_flags: list[list[int]] = [
+            [0] * stage.workers for stage in pipeline.worker_stages
+        ]
+        self._probe_names: list[str] = []
+        self._register_probes()
         self.threads: list[threading.Thread] = []
         self._closers: list[threading.Thread] = []
         for si, stage in enumerate(pipeline.worker_stages):
@@ -774,6 +805,47 @@ class _OverlappedRun:
             thread.join()
         queue.close()
 
+    # ------------------------------------------------------------------
+    # Continuous-monitoring probes (repro.telemetry.monitor)
+    # ------------------------------------------------------------------
+    def _in_flight(self) -> float:
+        """Envelopes inside the pipeline: dequeued but not yet delivered."""
+        return float(max(0, self.total - len(self.input_queue) - self._delivered))
+
+    def _register_probes(self) -> None:
+        """Expose this run's queues/occupancy to the attached sampler.
+
+        Probe names are stable across runs (keyed by stage name, not run
+        identity), so a multi-epoch series stays continuous: each epoch's
+        run re-registers the same names over its fresh queues.
+        """
+        probes = self.pipeline.ctx.probes
+        if probes is None:
+            return
+
+        def add(name: str, fn, unit: str) -> None:
+            probes.add_probe(name, fn, unit=unit)
+            self._probe_names.append(name)
+
+        add("pipeline/input_queue_depth", self.input_queue.__len__, "batches")
+        add("pipeline/in_flight_envelopes", self._in_flight, "envelopes")
+        for si, stage in enumerate(self.pipeline.worker_stages):
+            add(f"queue_depth/{stage.name}", self.queues[si].__len__, "batches")
+            flags = self._busy_flags[si]
+            add(
+                f"stage_occupancy/{stage.name}",
+                lambda f=flags: float(sum(f)),
+                "workers",
+            )
+
+    def _unregister_probes(self) -> None:
+        probes = self.pipeline.ctx.probes
+        if probes is None:
+            return
+        for name in self._probe_names:
+            probes.remove_probe(name)
+        self._probe_names = []
+
     def _worker(self, stage_index: int, stage: Stage, worker_id: int) -> None:
         state = stage.make_state(worker_id)
         resource = f"cpu:{worker_id}" if stage_index == 0 else f"cpu:{stage.name}{worker_id}"
@@ -796,12 +868,16 @@ class _OverlappedRun:
                 self.metrics.histogram(
                     "queue_wait_seconds", stage=stage.name
                 ).observe(time.perf_counter() - t0)
+            flags = self._busy_flags[stage_index]
+            flags[worker_id] = 1
             try:
                 stage.process(env, state, resource)
             except BaseException as exc:
                 stage.abandon(env)
                 self._fail(StageError(stage.name, env.index, exc))
                 return
+            finally:
+                flags[worker_id] = 0
             try:
                 downstream.put(env)
             except QueueClosed:
@@ -829,6 +905,7 @@ class _OverlappedRun:
             if self._expected in self._pending:
                 env = self._pending.pop(self._expected)
                 self._expected += 1
+                self._delivered += 1
                 return env
             if self._upstream_done:
                 if self.error is not None:
@@ -847,6 +924,7 @@ class _OverlappedRun:
                     # the in-order branch above.
                     index = min(self._pending)
                     self._expected = index + 1
+                    self._delivered += 1
                     return self._pending.pop(index)
                 self.drain()
                 return None
@@ -871,6 +949,7 @@ class _OverlappedRun:
             thread.join(timeout=60)
         for closer in self._closers:
             closer.join(timeout=60)
+        self._unregister_probes()
         if self.error is not None:
             if self.pipeline.transfer_stage is not None:
                 self.pipeline.transfer_stage.device.transfer_stream.synchronize()
@@ -908,3 +987,4 @@ class _OverlappedRun:
             except BaseException:
                 pass  # close() must always reclaim, never raise
         self._pending.clear()
+        self._unregister_probes()

@@ -12,6 +12,8 @@ renderer, and add hierarchical spans plus Chrome trace-event export.
 
 from __future__ import annotations
 
+import warnings
+
 from ..telemetry.tracer import (  # noqa: F401 (re-exports)
     STAGE_GLYPHS,
     TraceEvent,
@@ -20,3 +22,12 @@ from ..telemetry.tracer import (  # noqa: F401 (re-exports)
 )
 
 __all__ = ["TraceEvent", "Tracer", "render_timeline", "STAGE_GLYPHS"]
+
+# Module-level so the warning fires exactly once per process (the module
+# object is cached in sys.modules after the first import).
+warnings.warn(
+    "repro.runtime.trace is deprecated; import Tracer and friends from "
+    "repro.telemetry.tracer instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

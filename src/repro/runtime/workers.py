@@ -29,7 +29,7 @@ from ..telemetry import Counters, MetricsRegistry
 from .pinned import PinnedBuffer, PinnedBufferPool
 from .queues import BoundedOutputQueue, InputQueue, QueueClosed
 from .stages import Envelope, PipelineContext, SampleStage, SliceStage
-from .trace import Tracer
+from ..telemetry.tracer import Tracer
 
 __all__ = ["PreparedBatch", "BatchPreparationPool", "estimate_max_rows"]
 

@@ -10,10 +10,25 @@ One package owns every instrumentation seam of the repository:
   allocation-proof ledger of the sampling arena and fused slicer);
 - :mod:`.report` — :class:`RunReport`, the machine-readable per-run JSON
   artifact validated by ``benchmarks/check_bench_json.py``;
+- :mod:`.monitor` — :class:`ProbeSampler`, the continuous-monitoring
+  background thread sampling queue depths / pool occupancy / cache hit
+  rates into fixed-size :class:`ProbeRing` series;
+- :mod:`.attribution` — bottleneck attribution: blocking shares, lane
+  utilization and the prep-/transfer-/compute-bound verdict
+  (``python -m repro diagnose report.json``);
+- :mod:`.sentinel` — the perf-regression sentinel comparing fresh
+  ``BENCH_*.json`` artifacts against committed baselines;
 - :mod:`.timers` / :mod:`.tables` — stopwatches and the table/bar renderers
   every bench prints through.
 """
 
+from .attribution import (
+    Attribution,
+    attribute_breakdown,
+    attribute_report,
+    attribute_trace,
+    render_attribution,
+)
 from .counters import Counters
 from .metrics import (
     Counter,
@@ -22,6 +37,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .monitor import DEFAULT_PROBE_INTERVAL, ProbeRing, ProbeSampler
 from .report import RunReport, collect_environment
 from .tables import format_bar_chart, format_seconds, format_table
 from .timers import StageTimers, Timer
@@ -38,6 +54,14 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "RunReport",
     "collect_environment",
+    "ProbeSampler",
+    "ProbeRing",
+    "DEFAULT_PROBE_INTERVAL",
+    "Attribution",
+    "attribute_breakdown",
+    "attribute_trace",
+    "attribute_report",
+    "render_attribution",
     "Tracer",
     "TraceEvent",
     "render_timeline",

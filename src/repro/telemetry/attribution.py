@@ -1,0 +1,208 @@
+"""Bottleneck attribution: span + probe telemetry into a verdict.
+
+Table 1 and Figure 1 of the paper exist to answer one question — *which
+stage gates epoch time*: batch preparation (sampling + slicing), the
+host-to-device transfer, or model compute.  This module automates that
+reading.  Given the blocking-perspective stage breakdown an
+:class:`~repro.runtime.stages.EpochStats` already computes (and a
+:class:`~repro.telemetry.tracer.Tracer`'s lane intervals when available),
+it produces an :class:`Attribution`: per-stage shares of the caller's
+epoch time, per-lane utilization, a stall/wait decomposition, and a
+one-line **verdict** — ``prep-bound`` / ``transfer-bound`` /
+``compute-bound`` — with the supporting numbers.
+
+Three entry points, one per telemetry granularity:
+
+- :func:`attribute_breakdown` — from one breakdown dict (what
+  ``EpochStats.attribution()`` calls);
+- :func:`attribute_trace` — per-lane busy/utilization from tracer spans;
+- :func:`attribute_report` — from a full ``run_report`` JSON document
+  (epoch rows + metrics snapshot + probe series), which is what
+  ``python -m repro diagnose report.json`` renders.
+
+The verdict is intentionally coarse: it compares *blocking* shares, the
+time the caller thread actually waited per stage, so an overlapped
+pipeline whose workers keep up is compute-bound even though its workers
+burn more aggregate CPU than the serial policy — exactly the Figure 1(a)
+vs 1(b) contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "Attribution",
+    "attribute_breakdown",
+    "attribute_trace",
+    "attribute_report",
+    "render_attribution",
+]
+
+#: verdict vocabulary, keyed by the winning blocking share
+VERDICTS = {"prep": "prep-bound", "transfer": "transfer-bound", "train": "compute-bound"}
+
+
+@dataclass
+class Attribution:
+    """One bottleneck reading: shares, verdict, and supporting telemetry."""
+
+    verdict: str  # prep-bound | transfer-bound | compute-bound
+    bound_stage: str  # prep | transfer | train
+    #: blocking share of epoch time per stage group (caller's perspective)
+    shares: Dict[str, float]
+    #: fraction of the epoch the compute lane sat idle
+    gpu_idle_fraction: float
+    #: one-line human reading, e.g. "prep-bound on cpu:0, gpu idle 43%"
+    detail: str
+    #: lane -> busy fraction of the makespan (from tracer spans, optional)
+    lanes: Dict[str, float] = field(default_factory=dict)
+    #: wait decomposition in seconds (prep_wait, queue waits, pinned waits)
+    stalls: Dict[str, float] = field(default_factory=dict)
+
+    def to_doc(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "bound_stage": self.bound_stage,
+            "shares": {k: float(v) for k, v in self.shares.items()},
+            "gpu_idle_fraction": float(self.gpu_idle_fraction),
+            "detail": self.detail,
+            "lanes": {k: float(v) for k, v in self.lanes.items()},
+            "stalls": {k: float(v) for k, v in self.stalls.items()},
+        }
+
+
+def _blocking_shares(breakdown: Dict[str, float]) -> Dict[str, float]:
+    """Collapse a breakdown dict into the three blocking stage groups.
+
+    ``prep`` = blocking batch preparation + time the caller starved for
+    prepared batches (on an overlapped run the former is ~0 and the latter
+    is the only visible prep cost).  ``plan_build`` is a busy-time view
+    (already inside ``batch_prep`` on serial runs) and is excluded.
+    """
+    return {
+        "prep": breakdown.get("batch_prep", 0.0) + breakdown.get("prep_wait", 0.0),
+        "transfer": breakdown.get("transfer", 0.0),
+        "train": breakdown.get("train", 0.0),
+    }
+
+
+def attribute_breakdown(
+    breakdown: Dict[str, float],
+    lanes: Optional[Dict[str, float]] = None,
+    stalls: Optional[Dict[str, float]] = None,
+) -> Attribution:
+    """Verdict for one epoch's blocking-perspective stage breakdown."""
+    shares = _blocking_shares(breakdown)
+    bound_stage = max(shares, key=lambda k: shares[k])
+    train_share = shares["train"]
+    gpu_idle = min(max(1.0 - train_share, 0.0), 1.0)
+    lanes = dict(lanes or {})
+
+    detail = (
+        f"{VERDICTS[bound_stage]} "
+        f"({bound_stage} blocks {100 * shares[bound_stage]:.0f}% of epoch time"
+    )
+    if bound_stage == "prep" and lanes:
+        cpu_lanes = {k: v for k, v in lanes.items() if k.startswith("cpu")}
+        if cpu_lanes:
+            busiest = max(cpu_lanes, key=lambda k: cpu_lanes[k])
+            detail = (
+                f"{VERDICTS[bound_stage]} on {busiest} "
+                f"({bound_stage} blocks {100 * shares[bound_stage]:.0f}% of epoch time"
+            )
+    detail += f"), gpu idle {100 * gpu_idle:.0f}%"
+
+    return Attribution(
+        verdict=VERDICTS[bound_stage],
+        bound_stage=bound_stage,
+        shares=shares,
+        gpu_idle_fraction=gpu_idle,
+        detail=detail,
+        lanes=lanes,
+        stalls=dict(stalls or {}),
+    )
+
+
+def attribute_trace(tracer) -> Dict[str, float]:
+    """Per-lane utilization (busy fraction of the makespan) from spans."""
+    span = tracer.makespan()
+    if span <= 0:
+        return {}
+    lanes = sorted({e.resource for e in tracer.events})
+    return {lane: tracer.resource_busy(lane) / span for lane in lanes}
+
+
+def _stalls_from_metrics(metrics: Iterable[dict]) -> Dict[str, float]:
+    """Wait decomposition (seconds) from a metrics snapshot list."""
+    stalls: Dict[str, float] = {}
+    for entry in metrics:
+        name = entry.get("name")
+        if name == "caller_seconds" and entry.get("labels", {}).get("stage") == "prep_wait":
+            stalls["prep_wait_s"] = stalls.get("prep_wait_s", 0.0) + entry.get("sum", 0.0)
+        elif name == "queue_wait_seconds":
+            stage = entry.get("labels", {}).get("stage", "?")
+            key = f"queue_wait_s[{stage}]"
+            stalls[key] = stalls.get(key, 0.0) + entry.get("sum", 0.0)
+        elif name == "pinned_acquire_wait_seconds":
+            stalls["pinned_acquire_wait_s"] = (
+                stalls.get("pinned_acquire_wait_s", 0.0) + entry.get("sum", 0.0)
+            )
+    return stalls
+
+
+def attribute_report(doc: dict) -> Attribution:
+    """Overall attribution for a ``run_report`` JSON document.
+
+    Epoch breakdown fractions are combined weighted by each epoch's
+    duration; stalls come from the metrics snapshot; lane utilization is
+    absent (reports carry no spans) unless probe series imply it later.
+    """
+    epochs: List[dict] = list(doc.get("epochs") or [])
+    if not epochs:
+        raise ValueError("run report has no epoch rows to attribute")
+    total = sum(max(row.get("epoch_s", 0.0), 0.0) for row in epochs) or 1.0
+    combined: Dict[str, float] = {}
+    for row in epochs:
+        weight = max(row.get("epoch_s", 0.0), 0.0) / total
+        for stage, fraction in (row.get("breakdown") or {}).items():
+            combined[stage] = combined.get(stage, 0.0) + weight * fraction
+    stalls = _stalls_from_metrics(doc.get("metrics") or [])
+    return attribute_breakdown(combined, stalls=stalls)
+
+
+def render_attribution(attr: Attribution, epochs: Optional[List[dict]] = None) -> str:
+    """Multi-line human rendering (the ``repro diagnose`` output body)."""
+    lines = [f"verdict: {attr.detail}"]
+    lines.append(
+        "blocking shares: "
+        + "  ".join(f"{k}={100 * v:.1f}%" for k, v in attr.shares.items())
+    )
+    if attr.lanes:
+        lines.append(
+            "lane utilization: "
+            + "  ".join(f"{k}={100 * v:.0f}%" for k, v in sorted(attr.lanes.items()))
+        )
+    if attr.stalls:
+        lines.append(
+            "stalls: "
+            + "  ".join(
+                f"{k}={1e3 * v:.1f}ms" for k, v in sorted(attr.stalls.items())
+            )
+        )
+    if epochs:
+        lines.append("")
+        lines.append("epoch  prep%  transfer%  train%  prep_wait%  verdict")
+        for row in epochs:
+            b = row.get("breakdown") or {}
+            verdict = row.get("verdict") or attribute_breakdown(b).verdict
+            lines.append(
+                f"{row.get('epoch', '?'):>5}"
+                f"  {100 * b.get('batch_prep', 0.0):5.1f}"
+                f"  {100 * b.get('transfer', 0.0):9.1f}"
+                f"  {100 * b.get('train', 0.0):6.1f}"
+                f"  {100 * b.get('prep_wait', 0.0):10.1f}"
+                f"  {verdict}"
+            )
+    return "\n".join(lines)

@@ -203,19 +203,31 @@ class Histogram(Metric):
             return self.max
 
     def merge(self, other: "Histogram") -> None:
-        """Bucket-wise accumulate ``other`` (same boundaries required)."""
+        """Bucket-wise accumulate ``other`` (same boundaries required).
+
+        ``other`` is snapshotted under *its* lock first: reading its bins
+        while a concurrent ``observe`` runs can otherwise tear the read —
+        e.g. pick up ``count``/``sum`` but miss the matching overflow
+        (+Inf) bucket increment, silently losing tail samples.  The two
+        locks are never held together, so merges in any direction cannot
+        deadlock.
+        """
         if other.buckets != self.buckets:
             raise ValueError(
                 f"cannot merge histograms with different buckets: "
                 f"{self.name}{dict(self.labels)}"
             )
+        with other._lock:
+            counts = list(other.counts)
+            count, total = other.count, other.sum
+            lo, hi = other.min, other.max
         with self._lock:
-            for i, bin_count in enumerate(other.counts):
+            for i, bin_count in enumerate(counts):
                 self.counts[i] += bin_count
-            self.count += other.count
-            self.sum += other.sum
-            self.min = min(self.min, other.min)
-            self.max = max(self.max, other.max)
+            self.count += count
+            self.sum += total
+            self.min = min(self.min, lo)
+            self.max = max(self.max, hi)
 
     _merge = merge
 

@@ -59,6 +59,7 @@ class RunReport:
     evaluation: dict = field(default_factory=dict)
     metrics: list = field(default_factory=list)
     counters: dict = field(default_factory=dict)
+    probes: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def add_epoch(self, stats, epoch: Optional[int] = None) -> None:
@@ -82,6 +83,9 @@ class RunReport:
                 "loss_mean": float(np.mean(losses)) if losses else None,
                 "loss_last": float(losses[-1]) if losses else None,
                 "breakdown": {k: float(v) for k, v in stats.breakdown().items()},
+                # Bottleneck verdict as a sibling key — the breakdown dict
+                # stays numbers-only for the schema validator.
+                "verdict": stats.verdict(),
             }
         )
 
@@ -91,6 +95,12 @@ class RunReport:
     def attach_counters(self, counters: Counters) -> None:
         self.counters = dict(counters.snapshot())
 
+    def attach_probes(self, sampler) -> None:
+        """Fold a :class:`~repro.telemetry.monitor.ProbeSampler`'s ring
+        series into the report (no-op for a disabled sampler)."""
+        if sampler is not None and sampler.enabled:
+            self.probes = sampler.to_doc()
+
     def add_evaluation(self, split: str, accuracy: float) -> None:
         self.evaluation[split] = float(accuracy)
 
@@ -98,7 +108,7 @@ class RunReport:
     def to_doc(self) -> dict:
         """The finished JSON document (``bench`` keys the validator)."""
         total_s = sum(e["epoch_s"] for e in self.epochs)
-        return {
+        doc = {
             "bench": "run_report",
             "schema_version": REPORT_SCHEMA_VERSION,
             "command": self.command,
@@ -117,6 +127,13 @@ class RunReport:
             "metrics": self.metrics,
             "counters": self.counters,
         }
+        if self.probes is not None:
+            doc["probes"] = self.probes
+        if self.epochs:
+            from .attribution import attribute_report
+
+            doc["attribution"] = attribute_report(doc).to_doc()
+        return doc
 
     def write(self, path) -> dict:
         """Serialize to ``path``; returns the written document."""

@@ -210,7 +210,7 @@ class Tracer:
     # ------------------------------------------------------------------
     # Chrome trace-event export
     # ------------------------------------------------------------------
-    def to_chrome_trace(self, pid: int = 1) -> dict:
+    def to_chrome_trace(self, pid: int = 1, probes=None) -> dict:
         """The trace as a Chrome trace-event JSON document.
 
         Loadable in ``chrome://tracing`` / https://ui.perfetto.dev: one
@@ -218,6 +218,11 @@ class Tracer:
         events (``ph="X"``) with microsecond ``ts``/``dur``, batch index and
         span hierarchy under ``args``.  Lane-name metadata events label the
         tracks; lanes are ordered cpu* < dma < gpu to match the ASCII view.
+
+        ``probes`` (a :class:`~repro.telemetry.monitor.ProbeSampler`
+        constructed with ``clock=tracer.now``) appends its ``ph="C"``
+        counter tracks, so queue depths and pool occupancy render as numeric
+        series under the span Gantt on the same time axis.
         """
         lanes = sorted({e.resource for e in self.events}, key=_lane_sort_key)
         tid_of = {lane: tid for tid, lane in enumerate(lanes)}
@@ -258,16 +263,18 @@ class Tracer:
                     },
                 }
             )
+        if probes is not None:
+            trace_events.extend(probes.counter_track_events(pid=pid))
         return {
             "traceEvents": trace_events,
             "displayTimeUnit": "ms",
             "otherData": {"producer": "repro.telemetry.tracer"},
         }
 
-    def write_chrome_trace(self, path, pid: int = 1) -> None:
+    def write_chrome_trace(self, path, pid: int = 1, probes=None) -> None:
         """Serialize :meth:`to_chrome_trace` to ``path`` as JSON."""
         with open(path, "w") as handle:
-            json.dump(self.to_chrome_trace(pid=pid), handle, indent=1)
+            json.dump(self.to_chrome_trace(pid=pid, probes=probes), handle, indent=1)
             handle.write("\n")
 
 

@@ -132,6 +132,24 @@ class Workspace:
             a.nbytes for _, a in self._out
         )
 
+    def register_probes(self, sampler) -> None:
+        """Expose pool occupancy to a continuous-monitoring sampler.
+
+        The probes run on the sampler thread while the compute thread
+        mutates the pool, so they only read single attributes (atomic under
+        the GIL) — never the free-list dict.  ``pooled_bytes`` equals the
+        cumulative base allocations (bases are never dropped), which is
+        exactly the ``_bytes_allocated`` counter.
+        """
+        sampler.add_probe(
+            "workspace/pooled_bytes",
+            lambda: float(self._bytes_allocated),
+            unit="bytes",
+        )
+        sampler.add_probe(
+            "workspace/buffers_out", lambda: float(len(self._out)), unit="buffers"
+        )
+
     def _record(self, hit: bool, nbytes: int) -> None:
         if hit:
             self._hits += 1

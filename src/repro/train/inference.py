@@ -35,7 +35,7 @@ from ..runtime.stages import (
     StagedPipeline,
     TransferStage,
 )
-from ..runtime.trace import Tracer
+from ..telemetry.tracer import Tracer
 from ..runtime.workers import estimate_max_rows
 from ..sampling.base import BatchIterator, NeighborSamplerBase
 from ..sampling.fast_sampler import FastNeighborSampler

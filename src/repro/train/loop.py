@@ -22,7 +22,8 @@ from ..runtime.pipeline import (
     SerialExecutor,
     StagedExecutor,
 )
-from ..runtime.trace import Tracer
+from ..telemetry.monitor import ProbeSampler
+from ..telemetry.tracer import Tracer
 from ..sampling.base import BatchIterator, NeighborSamplerBase
 from ..sampling.fast_sampler import FastNeighborSampler
 from ..sampling.pyg_sampler import PyGNeighborSampler
@@ -89,6 +90,7 @@ class Trainer:
         tracer: Optional[Tracer] = None,
         infer_executor: str = "serial",
         compute: str = "fused",
+        probes: Optional[ProbeSampler] = None,
     ) -> None:
         if executor not in ("serial", "pipelined", "staged"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -104,6 +106,7 @@ class Trainer:
         self.seed = seed
         self.device = device or Device()
         self.tracer = tracer or Tracer(enabled=False)
+        self.probes = probes if probes is not None and probes.enabled else None
         self.infer_executor = infer_executor
         self.num_workers = num_workers
         self.store = FeatureStore(dataset.features, dataset.labels)
@@ -133,6 +136,7 @@ class Trainer:
                 tracer=self.tracer,
                 seed=seed,
                 compute=compute,
+                probes=self.probes,
             )
         else:
             executor_cls = (
@@ -147,12 +151,15 @@ class Trainer:
                 tracer=self.tracer,
                 seed=seed,
                 compute=compute,
+                probes=self.probes,
             )
         # One pool per trainer, shared across batches/epochs; counters land
         # in the executor's cumulative registry.
         self._workspace = (
             Workspace(metrics=self._executor.metrics) if compute == "fused" else None
         )
+        if self.probes is not None and self._workspace is not None:
+            self._workspace.register_probes(self.probes)
 
     # ------------------------------------------------------------------
     def _train_fn(self) -> Callable[[DeviceBatch], float]:
@@ -220,6 +227,7 @@ class Trainer:
             report.add_evaluation("val", result.val_accuracy[-1])
         report.attach_metrics(self.metrics)
         report.attach_counters(self.counters)
+        report.attach_probes(self.probes)
         return report
 
     def predict(

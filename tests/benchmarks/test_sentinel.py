@@ -1,0 +1,232 @@
+"""Tier-1 contract for the perf-regression sentinel.
+
+The sentinel must pass (exit 0) when self-comparing the committed
+``BENCH_*.json`` baselines, fail (exit 1) on a synthetically regressed
+candidate, and emit a ``BENCH_sentinel.json`` trajectory artifact that
+``check_bench_json.py`` validates — the same bar every other committed
+artifact meets.  The committed ``BENCH_sentinel.json`` at the repo root is
+also re-validated here so schema drift is caught in tier-1.
+"""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(BENCH_DIR))
+
+import check_bench_json  # noqa: E402
+
+from repro.telemetry.sentinel import (  # noqa: E402
+    DEFAULT_REL_TOL,
+    GuardedMetric,
+    build_sentinel_doc,
+    compare_docs,
+    extract_guarded_metrics,
+    main,
+)
+
+
+def _baseline_paths():
+    return [
+        p
+        for p in sorted(REPO_ROOT.glob("BENCH_*.json"))
+        if p.name != "BENCH_sentinel.json"
+    ]
+
+
+class TestExtractGuardedMetrics:
+    def test_rows_and_summary_extracted(self):
+        doc = {
+            "bench": "pipeline",
+            "rows": [
+                {
+                    "bench": "epoch",
+                    "dataset": "arxiv",
+                    "variant": "fast",
+                    "median_s": 0.25,
+                    "throughput": 4.0,
+                }
+            ],
+            "summary": {"arxiv": {"fast_vs_pyg_speedup": 2.5}},
+        }
+        metrics = {m.metric: m for m in extract_guarded_metrics(doc)}
+        assert set(metrics) == {
+            "rows.epoch.arxiv.fast.median_s",
+            "summary.arxiv.fast_vs_pyg_speedup",
+        }
+        assert metrics["rows.epoch.arxiv.fast.median_s"].direction == "lower-better"
+        assert metrics["summary.arxiv.fast_vs_pyg_speedup"].direction == "higher-better"
+
+    def test_sentinel_and_run_report_docs_are_unguarded(self):
+        assert extract_guarded_metrics({"bench": "sentinel", "rows": [{}]}) == []
+        assert extract_guarded_metrics({"bench": "run_report"}) == []
+
+    def test_non_finite_values_skipped(self):
+        doc = {
+            "bench": "x",
+            "rows": [{"bench": "a", "dataset": "d", "variant": "v", "median_s": float("nan")}],
+            "summary": {"d": {"speedup": float("inf")}},
+        }
+        assert extract_guarded_metrics(doc) == []
+
+
+class TestCompareDocs:
+    BASE = {
+        "bench": "pipeline",
+        "rows": [
+            {"bench": "epoch", "dataset": "arxiv", "variant": "fast", "median_s": 1.0}
+        ],
+        "summary": {"arxiv": {"speedup": 2.0}},
+    }
+
+    def test_identical_docs_pass(self):
+        checks = compare_docs(self.BASE, self.BASE, "a.json")
+        assert len(checks) == 2
+        assert all(c["status"] == "pass" for c in checks)
+
+    def test_slower_median_within_band_passes(self):
+        cand = copy.deepcopy(self.BASE)
+        cand["rows"][0]["median_s"] = 1.0 * (1 + DEFAULT_REL_TOL) - 1e-9
+        checks = compare_docs(self.BASE, cand, "a.json")
+        assert all(c["status"] == "pass" for c in checks)
+
+    def test_median_regression_flagged(self):
+        cand = copy.deepcopy(self.BASE)
+        cand["rows"][0]["median_s"] = 3.0
+        by_metric = {c["metric"]: c for c in compare_docs(self.BASE, cand, "a.json")}
+        assert by_metric["rows.epoch.arxiv.fast.median_s"]["status"] == "regressed"
+        assert by_metric["summary.arxiv.speedup"]["status"] == "pass"
+
+    def test_speedup_collapse_flagged(self):
+        cand = copy.deepcopy(self.BASE)
+        cand["summary"]["arxiv"]["speedup"] = 1.0
+        by_metric = {c["metric"]: c for c in compare_docs(self.BASE, cand, "a.json")}
+        assert by_metric["summary.arxiv.speedup"]["status"] == "regressed"
+
+    def test_missing_metric_is_a_regression(self):
+        cand = copy.deepcopy(self.BASE)
+        del cand["summary"]
+        by_metric = {c["metric"]: c for c in compare_docs(self.BASE, cand, "a.json")}
+        check = by_metric["summary.arxiv.speedup"]
+        assert check["status"] == "missing"
+        assert check["current"] is None
+
+    def test_abs_floor_shields_tiny_medians(self):
+        base = {
+            "bench": "x",
+            "rows": [{"bench": "a", "dataset": "d", "variant": "v", "median_s": 0.0001}],
+        }
+        cand = copy.deepcopy(base)
+        cand["rows"][0]["median_s"] = 0.004  # 40x, but under the 5ms floor
+        checks = compare_docs(base, cand, "a.json")
+        assert checks[0]["status"] == "pass"
+
+    def test_allowed_bound_directions(self):
+        checks = compare_docs(self.BASE, self.BASE, "a.json")
+        by_metric = {c["metric"]: c for c in checks}
+        assert by_metric["rows.epoch.arxiv.fast.median_s"]["allowed"] > 1.0
+        assert by_metric["summary.arxiv.speedup"]["allowed"] < 2.0
+
+
+class TestCommittedBaselines:
+    def test_repo_has_guarded_baselines(self):
+        paths = _baseline_paths()
+        assert len(paths) >= 3
+        guarded = 0
+        for path in paths:
+            guarded += len(extract_guarded_metrics(json.loads(path.read_text())))
+        assert guarded > 0
+
+    def test_self_compare_exits_zero(self, tmp_path):
+        out = tmp_path / "BENCH_sentinel.json"
+        rc = main(["--baseline-dir", str(REPO_ROOT), "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["mode"] == "self"
+        assert doc["summary"]["regressed"] == 0
+        assert check_bench_json.validate(doc) == []
+
+    def test_committed_sentinel_artifact_validates(self):
+        path = REPO_ROOT / "BENCH_sentinel.json"
+        assert path.exists(), "committed BENCH_sentinel.json missing"
+        doc = json.loads(path.read_text())
+        assert check_bench_json.validate(doc) == []
+        assert doc["summary"]["status"] == "pass"
+
+    def test_committed_sentinel_matches_current_baselines(self):
+        """The committed trajectory must track the committed baselines."""
+        doc = json.loads((REPO_ROOT / "BENCH_sentinel.json").read_text())
+        names = {a["name"] for a in doc["artifacts"]}
+        assert names == {p.name for p in _baseline_paths()}
+
+
+class TestRegressionDetection:
+    def test_synthetic_regression_exits_one(self, tmp_path, capsys):
+        """ISSUE acceptance: a regressed artifact makes the sentinel fail."""
+        base_path = _baseline_paths()[0]
+        doc = json.loads(base_path.read_text())
+        for row in doc.get("rows") or []:
+            if isinstance(row.get("median_s"), (int, float)):
+                row["median_s"] *= 3.0
+        cand = tmp_path / base_path.name
+        cand.write_text(json.dumps(doc))
+        out = tmp_path / "BENCH_sentinel.json"
+        rc = main(["--baseline-dir", str(REPO_ROOT), "--out", str(out), str(cand)])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.err
+        sentinel = json.loads(out.read_text())
+        assert sentinel["mode"] == "compare"
+        assert sentinel["summary"]["status"] == "regressed"
+        assert sentinel["summary"]["regressed"] > 0
+        # The failing artifact still validates — regressions are data,
+        # not schema errors.
+        assert check_bench_json.validate(sentinel) == []
+
+    def test_unknown_candidate_exits_two(self, tmp_path, capsys):
+        cand = tmp_path / "BENCH_nonexistent.json"
+        cand.write_text("{}")
+        rc = main(["--baseline-dir", str(REPO_ROOT), str(cand)])
+        assert rc == 2
+        assert "no committed baseline" in capsys.readouterr().err
+
+    def test_empty_baseline_dir_exits_two(self, tmp_path):
+        assert main(["--baseline-dir", str(tmp_path)]) == 2
+
+
+class TestSentinelSchema:
+    def test_build_doc_shape(self):
+        checks = compare_docs(TestCompareDocs.BASE, TestCompareDocs.BASE, "a.json")
+        doc = build_sentinel_doc(
+            checks,
+            [{"name": "a.json", "bench": "pipeline"}],
+            "self",
+            0.35,
+            0.005,
+            0.15,
+        )
+        assert check_bench_json.validate(doc) == []
+
+    def test_validator_rejects_inconsistent_summary(self):
+        checks = compare_docs(TestCompareDocs.BASE, TestCompareDocs.BASE, "a.json")
+        doc = build_sentinel_doc(checks, [{"name": "a.json"}], "self", 0.35, 0.005, 0.15)
+        doc["summary"]["regressed"] = 5  # lie about the tally
+        assert check_bench_json.validate(doc) != []
+
+    def test_validator_rejects_bad_status(self):
+        checks = compare_docs(TestCompareDocs.BASE, TestCompareDocs.BASE, "a.json")
+        doc = build_sentinel_doc(checks, [{"name": "a.json"}], "self", 0.35, 0.005, 0.15)
+        doc["checks"][0]["status"] = "maybe"
+        assert check_bench_json.validate(doc) != []
+
+    def test_console_entry_point_declared(self):
+        text = (REPO_ROOT / "pyproject.toml").read_text()
+        assert 'repro-sentinel = "repro.telemetry.sentinel:main"' in text
+
+    def test_wrapper_script_exists(self):
+        assert (BENCH_DIR / "sentinel.py").exists()

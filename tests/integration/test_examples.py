@@ -17,6 +17,7 @@ QUICK_EXAMPLES = [
     "quickstart.py",
     "custom_dataset.py",
     "sampling_strategies.py",
+    "diagnose_bottleneck.py",
 ]
 
 

@@ -130,6 +130,72 @@ class TestChromeTraceArtifact:
         assert "train" in stage_names
 
 
+class TestProbeArtifacts:
+    """Continuous-monitoring sections ride along in both artifacts."""
+
+    def test_report_carries_probe_series(self, artifacts):
+        _, _, report_path = artifacts
+        doc = json.loads(report_path.read_text())
+        probes = doc["probes"]
+        assert probes["interval_s"] > 0.0
+        assert probes["overhead_fraction"] <= 0.02
+        names = {series["name"] for series in probes["series"]}
+        assert "pipeline/input_queue_depth" in names
+        assert "queue_depth/sample" in names
+        assert "stage_occupancy/sample" in names
+        assert "pinned_pool/utilization" in names
+        for series in probes["series"]:
+            assert len(series["t"]) == len(series["values"]) > 0
+
+    def test_report_carries_attribution(self, artifacts):
+        _, _, report_path = artifacts
+        doc = json.loads(report_path.read_text())
+        attribution = doc["attribution"]
+        assert attribution["verdict"] in {
+            "prep-bound",
+            "transfer-bound",
+            "compute-bound",
+        }
+        assert set(attribution["shares"]) == {"prep", "transfer", "train"}
+        for row in doc["epochs"]:
+            assert row["verdict"] in {
+                "prep-bound",
+                "transfer-bound",
+                "compute-bound",
+            }
+
+    def test_trace_carries_counter_tracks(self, artifacts):
+        _, trace_path, _ = artifacts
+        doc = json.loads(trace_path.read_text())
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters, "trace should contain probe counter tracks"
+        names = {e["name"] for e in counters}
+        assert any(name.startswith("queue_depth/sample") for name in names)
+        for event in counters:
+            assert event["cat"] == "probe"
+            assert "value" in event["args"]
+            assert event["ts"] >= 0.0
+
+
+class TestDiagnoseCli:
+    def test_diagnose_renders_attribution(self, artifacts, capsys):
+        _, _, report_path = artifacts
+        assert main(["diagnose", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:" in out
+        assert "epoch  prep%" in out
+
+    def test_diagnose_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["diagnose", str(tmp_path / "nope.json")]) == 2
+        assert capsys.readouterr().err
+
+    def test_diagnose_rejects_non_report_json(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_pipeline.json"
+        path.write_text(json.dumps({"bench": "pipeline", "rows": []}))
+        assert main(["diagnose", str(path)]) == 2
+        assert "run_report" in capsys.readouterr().err
+
+
 class TestObservabilityIsNonPerturbing:
     def test_losses_identical_with_and_without_artifacts(self, tmp_path):
         from dataclasses import replace

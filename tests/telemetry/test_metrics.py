@@ -167,6 +167,63 @@ class TestHistogramMerge:
         with pytest.raises(ValueError):
             _hist([1.0]).merge(_hist([1.0], buckets=(2.0, 20.0)))
 
+    def test_overflow_bucket_survives_merge_into_empty(self):
+        # Regression: samples beyond the last boundary live in the +Inf
+        # overflow bin; a merge must carry that bin along with count/sum,
+        # in both directions and through the registry-level merge.
+        populated = _hist([500.0, 1000.0])  # both in the overflow bin
+        assert populated.counts[-1] == 2
+
+        empty = _hist([])
+        empty.merge(populated)
+        assert empty.counts[-1] == 2
+        assert empty.count == 2
+        assert empty.sum == pytest.approx(1500.0)
+        assert empty.percentile(100) == 1000.0
+
+    def test_overflow_bucket_survives_merge_from_empty(self):
+        populated = _hist([500.0])
+        populated.merge(_hist([]))
+        assert populated.counts[-1] == 1
+        assert populated.count == 1
+
+    def test_overflow_bucket_survives_registry_merge(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1.0, 10.0)).observe(99.0)
+        target = MetricsRegistry()
+        target.histogram("h", buckets=(1.0, 10.0))
+        target.merge(source)
+        merged = target.get("h")
+        assert merged.counts[-1] == 1
+        assert merged.count == 1
+
+    def test_merge_snapshot_consistent_under_concurrent_observe(self):
+        # The merge snapshots ``other`` under its lock, so the sink's
+        # invariant count == sum(counts) must hold after every merge even
+        # while a writer hammers the overflow bin.
+        import threading
+
+        source = _hist([])
+        sink = _hist([])
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                source.observe(500.0)  # overflow bin
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                fresh = _hist([])
+                fresh.merge(source)
+                assert fresh.count == sum(fresh.counts)
+                sink.merge(source)
+        finally:
+            stop.set()
+            thread.join()
+        assert sink.count == sum(sink.counts)
+
 
 class TestTimer:
     def test_time_context_observes_elapsed_seconds(self):

@@ -209,9 +209,74 @@ class TestChromeTrace:
         assert len([e for e in doc["traceEvents"] if e["ph"] == "X"]) == 4
 
 
+class TestCrossThreadNesting:
+    """Span parenthood is per-thread: a span opened on one thread must not
+    become the parent of spans opened concurrently on another."""
+
+    def test_parent_ids_do_not_leak_across_threads(self):
+        import threading
+
+        tracer = Tracer()
+        inside_outer = threading.Event()
+        release_outer = threading.Event()
+
+        def worker():
+            inside_outer.wait(timeout=5.0)
+            with tracer.span("sample", "cpu:1", 0):
+                with tracer.span("slice", "cpu:1", 0):
+                    pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        with tracer.span("train", "gpu", 0):
+            inside_outer.set()
+            thread.join(timeout=5.0)
+
+        events = {e.name: e for e in tracer.events}
+        # Worker-thread root must be a root, not a child of the main
+        # thread's still-open "train" span.
+        assert events["sample"].parent_id == -1
+        # Nesting *within* the worker thread is still tracked.
+        assert events["slice"].parent_id == events["sample"].span_id
+        assert events["train"].parent_id == -1
+        assert events["sample"].thread != events["train"].thread
+
+    def test_parallel_workers_each_get_their_own_stack(self):
+        import threading
+
+        tracer = Tracer()
+        barrier = threading.Barrier(4, timeout=5.0)
+
+        def worker(i):
+            barrier.wait()
+            with tracer.span("outer", f"cpu:{i}", i):
+                with tracer.span("inner", f"cpu:{i}", i):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        outers = {e.batch: e for e in tracer.events if e.name == "outer"}
+        inners = {e.batch: e for e in tracer.events if e.name == "inner"}
+        assert len(outers) == len(inners) == 4
+        for batch, outer in outers.items():
+            assert outer.parent_id == -1
+            assert inners[batch].parent_id == outer.span_id
+        # Span ids are unique across all threads.
+        ids = [e.span_id for e in tracer.events]
+        assert len(ids) == len(set(ids))
+
+
 class TestRuntimeShim:
     def test_runtime_trace_reexports_the_telemetry_tracer(self):
-        from repro.runtime import trace as shim
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.runtime import trace as shim
 
         assert shim.Tracer is Tracer
         assert shim.TraceEvent is TraceEvent
