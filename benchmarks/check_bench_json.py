@@ -58,6 +58,17 @@ COMPUTE_SUMMARY_KEYS = (
     "fused_epoch_speedup",
 )
 
+#: mp_prepare: thread- vs process-worker batch preparation scaling
+MP_PREPARE_VARIANTS = {
+    f"{kind}-{workers}" for kind in ("thread", "process") for workers in (1, 2, 4, 8)
+}
+MP_PREPARE_SUMMARY_KEYS = (
+    "process_speedup_2w",
+    "process_speedup_4w",
+    "process_speedup_8w",
+    "process_vs_thread_4w",
+)
+
 #: bench name -> (row-group name -> allowed variants, throughput key,
 #:               required per-dataset summary keys)
 SCHEMAS = {
@@ -79,6 +90,11 @@ SCHEMAS = {
         },
         "items_per_s",
         COMPUTE_SUMMARY_KEYS,
+    ),
+    "mp_prepare": (
+        {"prepare": MP_PREPARE_VARIANTS},
+        "batches_per_s",
+        MP_PREPARE_SUMMARY_KEYS,
     ),
 }
 

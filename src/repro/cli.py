@@ -44,7 +44,23 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--hidden", type=int, default=48)
     train.add_argument("--lr", type=float, default=0.01)
     train.add_argument(
-        "--executor", choices=["serial", "pipelined", "staged"], default="pipelined"
+        "--executor",
+        choices=["serial", "pipelined", "staged", "multiprocess"],
+        default="pipelined",
+    )
+    train.add_argument(
+        "--prepare-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker *processes* for --executor multiprocess (defaults to "
+        "the thread worker count); threads-based executors ignore it",
+    )
+    train.add_argument(
+        "--mp-start-method",
+        choices=["spawn", "fork", "forkserver"],
+        default="spawn",
+        help="multiprocessing start method for --executor multiprocess",
     )
     train.add_argument(
         "--infer-executor",
@@ -165,6 +181,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         infer_executor=args.infer_executor,
         compute=args.compute,
         probes=probes,
+        prepare_workers=args.prepare_workers,
+        mp_start_method=args.mp_start_method,
     )
     result = TrainResult()
     with probes:

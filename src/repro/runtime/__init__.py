@@ -6,8 +6,23 @@ from .feature_cache import (
     hottest_nodes,
     transfer_batch_with_cache,
 )
+from .mp_prepare import (
+    MPPrepareStage,
+    MultiprocessExecutor,
+    MultiprocessPreparePool,
+    WorkerCrashed,
+    WorkerTaskError,
+)
 from .pinned import PinnedBuffer, PinnedBufferPool
 from .pipeline import EpochStats, PipelinedExecutor, SerialExecutor, StagedExecutor
+from .shm import (
+    SharedArena,
+    SharedDataset,
+    SharedPinnedBuffer,
+    SharedSlotPool,
+    decode_mfg,
+    encode_mfg,
+)
 from .queues import BoundedOutputQueue, InputQueue, QueueClosed, StaticPartitionQueue
 from .stages import (
     ComputeStage,
@@ -34,6 +49,18 @@ __all__ = [
     "EpochStats",
     "SerialExecutor",
     "PipelinedExecutor",
+    "StagedExecutor",
+    "MultiprocessExecutor",
+    "MultiprocessPreparePool",
+    "MPPrepareStage",
+    "WorkerCrashed",
+    "WorkerTaskError",
+    "SharedArena",
+    "SharedDataset",
+    "SharedPinnedBuffer",
+    "SharedSlotPool",
+    "encode_mfg",
+    "decode_mfg",
     "InputQueue",
     "StaticPartitionQueue",
     "BoundedOutputQueue",

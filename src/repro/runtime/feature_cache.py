@@ -30,13 +30,32 @@ __all__ = ["DeviceFeatureCache", "transfer_batch_with_cache", "hottest_nodes"]
 
 
 def hottest_nodes(graph: CSRGraph, cache_size: int) -> np.ndarray:
-    """The ``cache_size`` highest-degree nodes (most frequently sampled)."""
+    """The ``cache_size`` highest-degree nodes (most frequently sampled).
+
+    Deterministic: degree ties at the selection boundary are broken by
+    ascending node id, and the result is ordered by (descending degree,
+    ascending id).  ``np.argpartition`` alone breaks ties in unspecified
+    order, which made the resident set — and hence hit rates and metered
+    transfer bytes — vary run-to-run on tie-heavy synthetic graphs.
+    """
     if cache_size < 0 or cache_size > graph.num_nodes:
         raise ValueError("cache_size out of range")
-    degrees = graph.degree()
-    return np.argpartition(degrees, -cache_size)[-cache_size:] if cache_size else (
-        np.empty(0, dtype=np.int64)
-    )
+    if cache_size == 0:
+        return np.empty(0, dtype=np.int64)
+    degrees = np.asarray(graph.degree(), dtype=np.int64)
+    n = len(degrees)
+    if cache_size == n:
+        chosen = np.arange(n, dtype=np.int64)
+    else:
+        # argpartition finds the k-th largest degree; membership above the
+        # threshold is unambiguous, and the tie boundary is filled with the
+        # smallest node ids (flatnonzero scans in ascending-id order).
+        kth = np.partition(degrees, n - cache_size)[n - cache_size]
+        sure = np.flatnonzero(degrees > kth)
+        tied = np.flatnonzero(degrees == kth)[: cache_size - len(sure)]
+        chosen = np.concatenate([sure, tied]).astype(np.int64)
+    order = np.lexsort((chosen, -degrees[chosen]))
+    return chosen[order]
 
 
 class DeviceFeatureCache:

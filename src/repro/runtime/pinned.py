@@ -52,26 +52,39 @@ class PinnedBufferPool:
         self.max_rows = max_rows
         self.num_features = num_features
         self.max_batch = max_batch
-        self._buffers = [
-            PinnedBuffer(
-                slot=i,
-                features=np.empty((max_rows, num_features), dtype=feature_dtype),
-                labels=np.empty(max_batch, dtype=np.int64),
-            )
-            for i in range(num_slots)
-        ]
+        self.feature_dtype = np.dtype(feature_dtype)
+        self._buffers = [self._make_buffer(i) for i in range(num_slots)]
         self._free = list(range(num_slots))
         self._mutex = threading.Lock()
         self._available = threading.Condition(self._mutex)
         self.total_slots = num_slots
 
+    def _make_buffer(self, slot: int) -> PinnedBuffer:
+        """Allocate one slot's backing storage (subclasses override to
+        place the arrays in shared memory)."""
+        return PinnedBuffer(
+            slot=slot,
+            features=np.empty((self.max_rows, self.num_features), self.feature_dtype),
+            labels=np.empty(self.max_batch, dtype=np.int64),
+        )
+
     def acquire(self, timeout: Optional[float] = None) -> PinnedBuffer:
-        """Block until a slot is free; return it."""
+        """Block until a slot is free; return it.
+
+        ``timeout`` is a single deadline for the whole call: the wait loop
+        re-arms with the *remaining* time after every wakeup (a condition
+        notify with no free slot must not restart the clock).
+        """
         t0 = time.perf_counter()
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._available:
             while not self._free:
                 self.counters.inc("pinned_acquire_waits")
-                if not self._available.wait(timeout=timeout):
+                if deadline is None:
+                    self._available.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._available.wait(timeout=remaining):
                     raise TimeoutError("no pinned buffer became available")
             self.counters.inc("pinned_acquires")
             buffer = self._buffers[self._free.pop()]
@@ -84,6 +97,13 @@ class PinnedBufferPool:
 
     def release(self, buffer: PinnedBuffer) -> None:
         with self._available:
+            if (
+                not 0 <= buffer.slot < self.total_slots
+                or self._buffers[buffer.slot] is not buffer
+            ):
+                raise ValueError(
+                    f"buffer with slot {buffer.slot} does not belong to this pool"
+                )
             if buffer.slot in self._free:
                 raise ValueError(f"slot {buffer.slot} released twice")
             self._free.append(buffer.slot)

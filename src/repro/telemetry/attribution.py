@@ -113,6 +113,19 @@ def attribute_breakdown(
                 f"({bound_stage} blocks {100 * shares[bound_stage]:.0f}% of epoch time"
             )
     detail += f"), gpu idle {100 * gpu_idle:.0f}%"
+    if bound_stage == "prep":
+        # Multiprocess prepare: cpu:mp<i> lanes carry per-worker-process
+        # busy fractions, so a prep-bound verdict can name core starvation
+        # (workers saturated → add cores) vs dispatch overhead (they are
+        # mostly idle → the bottleneck is elsewhere in the prep path).
+        mp_lanes = {k: v for k, v in (lanes or {}).items() if k.startswith("cpu:mp")}
+        if mp_lanes:
+            mean_busy = sum(mp_lanes.values()) / len(mp_lanes)
+            state = "core-starved" if mean_busy >= 0.8 else "under-utilized"
+            detail += (
+                f"; {len(mp_lanes)} prepare workers {state} "
+                f"(mean busy {100 * mean_busy:.0f}%)"
+            )
 
     return Attribution(
         verdict=VERDICTS[bound_stage],
@@ -149,15 +162,44 @@ def _stalls_from_metrics(metrics: Iterable[dict]) -> Dict[str, float]:
             stalls["pinned_acquire_wait_s"] = (
                 stalls.get("pinned_acquire_wait_s", 0.0) + entry.get("sum", 0.0)
             )
+        elif name == "mp_result_wait_seconds":
+            # Dispatch/IPC overhead of the multiprocess prepare pool, net
+            # of worker busy time (already inside batch_prep).
+            stalls["mp_result_wait_s"] = (
+                stalls.get("mp_result_wait_s", 0.0) + entry.get("sum", 0.0)
+            )
     return stalls
+
+
+def _mp_lanes_from_metrics(metrics: Iterable[dict], total_s: float) -> Dict[str, float]:
+    """Per-worker-process busy fractions from ``mp_worker_busy_seconds``.
+
+    Run reports carry no tracer spans, but the multiprocess prepare pool
+    records each worker's busy seconds; dividing by the run's total epoch
+    seconds yields a lane-utilization view ``attribute_breakdown`` can use
+    to attribute a prep-bound verdict to actual core starvation.
+    """
+    if total_s <= 0:
+        return {}
+    lanes: Dict[str, float] = {}
+    for entry in metrics:
+        if entry.get("name") != "mp_worker_busy_seconds":
+            continue
+        worker = entry.get("labels", {}).get("worker", "?")
+        key = f"cpu:mp{worker}"
+        lanes[key] = lanes.get(key, 0.0) + entry.get("sum", 0.0) / total_s
+    return lanes
 
 
 def attribute_report(doc: dict) -> Attribution:
     """Overall attribution for a ``run_report`` JSON document.
 
     Epoch breakdown fractions are combined weighted by each epoch's
-    duration; stalls come from the metrics snapshot; lane utilization is
-    absent (reports carry no spans) unless probe series imply it later.
+    duration; stalls come from the metrics snapshot.  Lane utilization is
+    absent for thread executors (reports carry no spans), but multiprocess
+    runs reconstruct per-worker ``cpu:mp<i>`` lanes from the
+    ``mp_worker_busy_seconds`` metrics so prep-bound verdicts name core
+    starvation.
     """
     epochs: List[dict] = list(doc.get("epochs") or [])
     if not epochs:
@@ -168,8 +210,10 @@ def attribute_report(doc: dict) -> Attribution:
         weight = max(row.get("epoch_s", 0.0), 0.0) / total
         for stage, fraction in (row.get("breakdown") or {}).items():
             combined[stage] = combined.get(stage, 0.0) + weight * fraction
-    stalls = _stalls_from_metrics(doc.get("metrics") or [])
-    return attribute_breakdown(combined, stalls=stalls)
+    metrics = doc.get("metrics") or []
+    stalls = _stalls_from_metrics(metrics)
+    lanes = _mp_lanes_from_metrics(metrics, total_s=total)
+    return attribute_breakdown(combined, lanes=lanes or None, stalls=stalls)
 
 
 def render_attribution(attr: Attribution, epochs: Optional[List[dict]] = None) -> str:

@@ -16,6 +16,7 @@ from ..models.architectures import build_model
 from ..nn.module import Module
 from ..nn.optim import Adam, Optimizer
 from ..runtime.device import Device, DeviceBatch
+from ..runtime.mp_prepare import MultiprocessExecutor
 from ..runtime.pipeline import (
     EpochStats,
     PipelinedExecutor,
@@ -64,9 +65,14 @@ class Trainer:
         Hyperparameters (Table 5 row).
     executor:
         ``"serial"`` — the baseline PyG workflow; ``"pipelined"`` — SALIENT
-        (fused prepare workers); ``"staged"`` — split sample/slice stages.
+        (fused prepare workers); ``"staged"`` — split sample/slice stages;
+        ``"multiprocess"`` — prepare runs in worker *processes* over shared
+        memory (true multi-core batch prep, Section 4.2 / Table 2).
     sampler:
         ``"fast"`` (SALIENT's sampler) or ``"pyg"`` (the reference one).
+    prepare_workers:
+        Worker-process count for the multiprocess executor (defaults to
+        ``num_workers``); ignored by the thread-based executors.
     infer_executor:
         Executor policy for :meth:`predict`/:meth:`evaluate` (Section 5.4's
         pipelined inference when set to ``"pipelined"``/``"staged"``).
@@ -91,8 +97,10 @@ class Trainer:
         infer_executor: str = "serial",
         compute: str = "fused",
         probes: Optional[ProbeSampler] = None,
+        prepare_workers: Optional[int] = None,
+        mp_start_method: str = "spawn",
     ) -> None:
-        if executor not in ("serial", "pipelined", "staged"):
+        if executor not in ("serial", "pipelined", "staged", "multiprocess"):
             raise ValueError(f"unknown executor {executor!r}")
         if sampler not in ("fast", "pyg"):
             raise ValueError(f"unknown sampler {sampler!r}")
@@ -109,6 +117,7 @@ class Trainer:
         self.probes = probes if probes is not None and probes.enabled else None
         self.infer_executor = infer_executor
         self.num_workers = num_workers
+        self.prepare_workers = prepare_workers or num_workers
         self.store = FeatureStore(dataset.features, dataset.labels)
 
         model_rng = np.random.default_rng(np.random.SeedSequence([seed, 101]))
@@ -137,6 +146,21 @@ class Trainer:
                 seed=seed,
                 compute=compute,
                 probes=self.probes,
+            )
+        elif executor == "multiprocess":
+            self._executor = MultiprocessExecutor(
+                graph=dataset.graph,
+                store=self.store,
+                device=self.device,
+                fanouts=fanouts,
+                num_workers=prepare_workers or num_workers,
+                sampler=sampler,
+                max_batch_hint=config.batch_size,
+                tracer=self.tracer,
+                seed=seed,
+                compute=compute,
+                probes=self.probes,
+                start_method=mp_start_method,
             )
         else:
             executor_cls = (
@@ -217,6 +241,7 @@ class Trainer:
                 "executor": type(self._executor).__name__,
                 "sampler": type(self._sampler_factory()).__name__,
                 "num_workers": self.num_workers,
+                "prepare_workers": self.prepare_workers,
                 "seed": self.seed,
                 "compute": self.compute,
             },
@@ -356,4 +381,7 @@ class Trainer:
             self.optimizer.load_state_dict({"lr": float(archive["optimizer/lr"])})
 
     def shutdown(self) -> None:
+        close = getattr(self._executor, "close", None)
+        if close is not None:  # multiprocess: stop workers, free shm segments
+            close()
         self.device.shutdown()

@@ -168,6 +168,58 @@ class TestPinnedBufferPool:
         with pytest.raises(ValueError):
             pool.release(buf)
 
+    def test_acquire_timeout_survives_spurious_wakeups(self):
+        """Regression: the wait loop used to restart the *full* timeout on
+        every Condition wakeup, so notifies without a free slot could block
+        an acquire(timeout=t) far past its deadline.  The deadline is now
+        monotonic: spam notifies and the call must still time out on
+        schedule."""
+        pool = PinnedBufferPool(1, max_rows=4, num_features=2, max_batch=2)
+        pool.acquire()
+        stop = threading.Event()
+
+        def spammer():
+            while not stop.is_set():
+                with pool._available:
+                    pool._available.notify_all()
+                time.sleep(0.005)
+
+        thread = threading.Thread(target=spammer, daemon=True)
+        thread.start()
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(TimeoutError):
+                pool.acquire(timeout=0.2)
+            elapsed = time.monotonic() - t0
+        finally:
+            stop.set()
+            thread.join(timeout=2)
+        assert elapsed < 1.0, f"timeout restarted by wakeups: {elapsed:.2f}s"
+
+    def test_release_rejects_foreign_buffer(self):
+        """Regression: a buffer from *another* pool with a valid slot index
+        used to slip into the free list (corrupting it); identity against
+        self._buffers[slot] is now enforced."""
+        pool = PinnedBufferPool(2, max_rows=4, num_features=2, max_batch=2)
+        other = PinnedBufferPool(2, max_rows=4, num_features=2, max_batch=2)
+        foreign = other.acquire()
+        with pytest.raises(ValueError, match="does not belong"):
+            pool.release(foreign)
+        # the victim pool's free list must be intact
+        assert pool.free_slots() == 2
+
+    def test_release_rejects_out_of_range_slot(self):
+        from repro.runtime import PinnedBuffer
+
+        pool = PinnedBufferPool(1, max_rows=4, num_features=2, max_batch=2)
+        rogue = PinnedBuffer(
+            slot=7,
+            features=np.empty((4, 2), np.float16),
+            labels=np.empty(2, np.int64),
+        )
+        with pytest.raises(ValueError, match="does not belong"):
+            pool.release(rogue)
+
     def test_buffer_shapes(self):
         pool = PinnedBufferPool(1, max_rows=7, num_features=3, max_batch=5)
         buf = pool.acquire()

@@ -32,6 +32,29 @@ class TestHottestNodes:
     def test_zero_size(self, small_products):
         assert len(hottest_nodes(small_products.graph, 0)) == 0
 
+    def test_deterministic_on_tie_heavy_graph(self):
+        """Regression: argpartition breaks degree ties in unspecified order,
+        so the resident set could differ run-to-run on tie-heavy graphs.
+        The selection must now equal the lexsort reference — (descending
+        degree, ascending id) — for every cache size."""
+        from repro.graph import CSRGraph
+
+        rng = np.random.default_rng(3)
+        n = 200
+        # Degrees drawn from only 4 distinct values: ties everywhere.
+        degrees = rng.choice([1, 2, 3, 4], size=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(degrees)
+        indices = rng.integers(0, n, size=indptr[-1], dtype=np.int64)
+        graph = CSRGraph(indptr=indptr, indices=indices)
+
+        reference = np.lexsort((np.arange(n), -degrees))
+        for size in (1, 7, 50, 123, n):
+            hot = hottest_nodes(graph, size)
+            np.testing.assert_array_equal(hot, reference[:size])
+            # and it is stable across calls
+            np.testing.assert_array_equal(hot, hottest_nodes(graph, size))
+
     def test_validation(self, small_products):
         with pytest.raises(ValueError):
             hottest_nodes(small_products.graph, small_products.num_nodes + 1)

@@ -50,6 +50,28 @@ def test_identical_losses_across_executors(name):
     assert losses["staged"] == losses["serial"]
 
 
+def test_multiprocess_executor_matches_serial(tiny_dataset):
+    """The shared-memory multiprocess prepare executor is the fourth
+    policy: worker processes re-derive each batch's RNG from the shared
+    ``rng_entries`` seeding, so its losses are bitwise those of serial."""
+    config = _config("arxiv")
+    losses = {}
+    for executor, extra in (
+        ("serial", {}),
+        # fork keeps the test fast; the spawn path is pinned by
+        # tests/runtime/test_mp_prepare.py
+        ("multiprocess", {"prepare_workers": 2, "mp_start_method": "fork"}),
+    ):
+        trainer = Trainer(
+            tiny_dataset, config, executor=executor, num_workers=2, seed=11, **extra
+        )
+        stats = trainer.train_epoch(0)
+        trainer.shutdown()
+        assert stats.num_batches > 1
+        losses[executor] = stats.losses
+    assert losses["multiprocess"] == losses["serial"]
+
+
 def test_second_epoch_stays_identical(tiny_dataset):
     """Optimizer state and epoch-indexed shuffling must stay in lockstep
     across executors beyond the first epoch."""
