@@ -23,6 +23,7 @@ from repro.runtime import (
 from repro.sampling import BatchIterator, FastNeighborSampler
 from repro.slicing import FeatureStore, slice_batch_fused
 from repro.telemetry import format_table
+from repro.tensor import Workspace, workspace_scope
 
 from common import emit
 
@@ -43,12 +44,16 @@ def run_epoch_with_cache(dataset, cache_fraction: float):
 
     rng = np.random.default_rng(0)
     start = time.perf_counter()
-    for index, nodes in enumerate(
-        BatchIterator(dataset.split.train, 32, rng=rng)
-    ):
-        mfg = sampler.sample(nodes, np.random.default_rng(index))
-        batch = slice_batch_fused(store, mfg)
-        transfer_batch_with_cache(device, cache, batch, index)
+    # A workspace scope lets transfer_batch_with_cache pool the assembled
+    # fp32 feature matrix across batches instead of reallocating it.
+    with workspace_scope(Workspace()) as workspace:
+        for index, nodes in enumerate(
+            BatchIterator(dataset.split.train, 32, rng=rng)
+        ):
+            mfg = sampler.sample(nodes, np.random.default_rng(index))
+            batch = slice_batch_fused(store, mfg)
+            transfer_batch_with_cache(device, cache, batch, index)
+            workspace.release_all()
     elapsed = time.perf_counter() - start
     stats = {
         "cache_fraction": cache_fraction,

@@ -69,6 +69,18 @@ MP_PREPARE_SUMMARY_KEYS = (
     "process_vs_thread_4w",
 )
 
+#: feature_tier: tiered feature store (RAM-hot / mmap-cold / quantized)
+FEATURE_TIER_VARIANTS = {"ram", "mmap", "mmap-tiered", "mmap-quant"}
+FEATURE_TIER_SUMMARY_KEYS = (
+    "mmap_slice_relative_throughput",
+    "tiered_slice_relative_throughput",
+    "mmap_graph_per_gb_gain",
+    "quant_bytes_per_row_reduction",
+)
+#: parity gate for the feature_tier artifact: ram vs mmap training must be
+#: byte-identical on both executors; quantized loss drift stays below this
+FEATURE_TIER_MAX_LOSS_DELTA = 1e-2
+
 #: bench name -> (row-group name -> allowed variants, throughput key,
 #:               required per-dataset summary keys)
 SCHEMAS = {
@@ -95,6 +107,11 @@ SCHEMAS = {
         {"prepare": MP_PREPARE_VARIANTS},
         "batches_per_s",
         MP_PREPARE_SUMMARY_KEYS,
+    ),
+    "feature_tier": (
+        {"slice": FEATURE_TIER_VARIANTS},
+        "rows_per_s",
+        FEATURE_TIER_SUMMARY_KEYS,
     ),
 }
 
@@ -133,7 +150,12 @@ SENTINEL_DIRECTIONS = {"lower-better", "higher-better"}
 SENTINEL_STATUSES = {"pass", "regressed", "missing"}
 
 #: bottleneck-attribution verdict vocabulary (repro.telemetry.attribution)
-ATTRIBUTION_VERDICTS = {"prep-bound", "transfer-bound", "compute-bound"}
+ATTRIBUTION_VERDICTS = {
+    "prep-bound",
+    "transfer-bound",
+    "compute-bound",
+    "storage-bound",
+}
 
 
 def _is_positive_number(value) -> bool:
@@ -455,6 +477,37 @@ def validate(doc: dict, min_reps: int = 1) -> list[str]:
                     errors.append(
                         f"summary[{name!r}].{key} must be a finite positive number"
                     )
+    if bench == "feature_tier":
+        errors.extend(_validate_feature_tier_parity(doc.get("parity")))
+    return errors
+
+
+def _validate_feature_tier_parity(parity) -> list[str]:
+    """Violations in the feature_tier artifact's training-parity section.
+
+    This section lives *outside* ``summary`` on purpose: the sentinel
+    guards every numeric summary entry as a higher-is-better ratio, and a
+    loss delta is the opposite — smaller is better, zero is perfect.  The
+    guarantees are enforced here instead: ram vs mmap byte-identical on
+    both executors, quantized loss drift bounded.
+    """
+    if not isinstance(parity, dict):
+        return ["parity must be an object for feature_tier artifacts"]
+    errors: list[str] = []
+    for key in (
+        "ram_vs_mmap_identical_serial",
+        "ram_vs_mmap_identical_multiprocess",
+    ):
+        if parity.get(key) is not True:
+            errors.append(f"parity.{key} must be true, got {parity.get(key)!r}")
+    delta = parity.get("quant_final_loss_delta")
+    if not _is_finite_number(delta) or delta < 0:
+        errors.append("parity.quant_final_loss_delta must be a finite number >= 0")
+    elif delta >= FEATURE_TIER_MAX_LOSS_DELTA:
+        errors.append(
+            f"parity.quant_final_loss_delta {delta} exceeds the "
+            f"{FEATURE_TIER_MAX_LOSS_DELTA} bound"
+        )
     return errors
 
 

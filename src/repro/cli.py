@@ -70,6 +70,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("--sampler", choices=["fast", "pyg"], default="fast")
     train.add_argument(
+        "--feature-tier",
+        choices=["ram", "mmap", "mmap-quant"],
+        default="ram",
+        help="feature storage: in-RAM fp16 (ram), memory-mapped slab with "
+        "a RAM-hot tier (mmap, byte-identical losses), or a uint8 "
+        "quantized slab with fused dequantize-on-slice (mmap-quant)",
+    )
+    train.add_argument(
+        "--hot-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="RAM-hot rows for the mmap tiers (highest-degree nodes; "
+        "default num_nodes // 8, 0 disables the hot tier)",
+    )
+    train.add_argument(
+        "--slab-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the on-disk feature slab (default: a "
+        "temporary directory removed on exit)",
+    )
+    train.add_argument(
         "--compute",
         choices=["fused", "legacy"],
         default="fused",
@@ -183,6 +206,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         probes=probes,
         prepare_workers=args.prepare_workers,
         mp_start_method=args.mp_start_method,
+        feature_tier=args.feature_tier,
+        hot_rows=args.hot_rows,
+        slab_dir=args.slab_dir,
     )
     result = TrainResult()
     with probes:

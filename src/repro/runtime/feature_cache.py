@@ -5,10 +5,12 @@ caching data on the GPU to reduce the slicing or data transfer volume."
 
 :class:`DeviceFeatureCache` pins the features of a chosen node set (by
 default the highest-degree nodes — the ones sampled most often) on the
-simulated device in fp32. :func:`transfer_batch_with_cache` then moves only
-the *missing* rows over the bus and assembles the device-side feature
-matrix from cache hits plus transferred misses. Adjacency and labels still
-transfer normally.
+simulated device in the store's own dtype (fp16 by default, halving the
+resident footprint and the one-time upload). :func:`transfer_batch_with_cache`
+then moves only the *missing* rows over the bus and assembles the fp32
+device-side feature matrix from cache hits plus transferred misses —
+row assignment upcasts fp16 exactly. Adjacency and labels still transfer
+normally.
 
 The extension bench (``bench_ablation_feature_cache.py``) sweeps the cache
 size and reports hit rate and transfer-volume reduction.
@@ -24,6 +26,7 @@ from ..graph.csr import CSRGraph
 from ..slicing.slicer import SlicedBatch
 from ..slicing.store import FeatureStore
 from ..telemetry import MetricsRegistry
+from ..tensor.workspace import current_workspace
 from .device import Device, DeviceBatch, DeviceTensor
 
 __all__ = ["DeviceFeatureCache", "transfer_batch_with_cache", "hottest_nodes"]
@@ -59,7 +62,7 @@ def hottest_nodes(graph: CSRGraph, cache_size: int) -> np.ndarray:
 
 
 class DeviceFeatureCache:
-    """Features of a fixed node set, resident on the device in fp32."""
+    """Features of a fixed node set, resident on the device in store dtype."""
 
     def __init__(
         self,
@@ -71,10 +74,14 @@ class DeviceFeatureCache:
         node_ids = np.asarray(node_ids, dtype=np.int64)
         self.device = device
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._row_of = np.full(store.num_nodes, -1, dtype=np.int64)
-        self._row_of[node_ids] = np.arange(len(node_ids))
-        # One-time bulk upload of the resident set (metered).
-        resident = store.features[node_ids].astype(np.float32)
+        # int32 halves the lookup table; cache row indices always fit.
+        self._row_of = np.full(store.num_nodes, -1, dtype=np.int32)
+        self._row_of[node_ids] = np.arange(len(node_ids), dtype=np.int32)
+        # One-time bulk upload of the resident set (metered), gathered in a
+        # single zero-intermediate pass and kept in the store's dtype —
+        # fancy indexing + astype would materialize the rows twice.
+        resident = np.empty((len(node_ids), store.num_features), store.feature_dtype)
+        store.slice_features(node_ids, out=resident)
         self.rows = device.to_device(resident).data
         self.num_features = store.num_features
         self.hits = 0
@@ -111,7 +118,13 @@ def transfer_batch_with_cache(
     batch: SlicedBatch,
     batch_index: int = -1,
 ) -> DeviceBatch:
-    """Move a batch to the device, shipping only cache-miss feature rows."""
+    """Move a batch to the device, shipping only cache-miss feature rows.
+
+    The assembled fp32 matrix comes from the thread's active
+    :class:`~repro.tensor.workspace.Workspace` when one is in scope, so the
+    steady-state loop reuses one buffer per batch-size bucket instead of
+    allocating a fresh feature matrix every batch.
+    """
     n_id = batch.mfg.n_id
     rows, hit = cache.lookup(n_id)
     miss_idx = np.flatnonzero(~hit)
@@ -122,7 +135,11 @@ def transfer_batch_with_cache(
     adj_tensors = 1 + len(batch.mfg.adjs)
     device._meter(payload, 2 + adj_tensors)
 
-    xs = np.empty((len(n_id), cache.num_features), dtype=np.float32)
+    ws = current_workspace()
+    if ws is not None:
+        xs = ws.empty((len(n_id), cache.num_features), np.float32)
+    else:
+        xs = np.empty((len(n_id), cache.num_features), dtype=np.float32)
     hit_idx = np.flatnonzero(hit)
     if len(hit_idx):
         xs[hit_idx] = cache.rows[rows[hit_idx]]

@@ -166,6 +166,15 @@ def _worker_main(
                 rng = np.random.default_rng(np.random.SeedSequence(list(entries)))
                 mfg = sampler.sample(np.asarray(nodes, dtype=np.int64), rng)
                 t1 = time.perf_counter()
+                # Memory-mapped stores meter their page-fault/copy time in
+                # their own (worker-local) registry; the per-task delta
+                # rides the result message into the parent's registry.
+                store_metrics = getattr(store, "metrics", None)
+                mmap0 = (
+                    store_metrics.value("mmap_wait_seconds")
+                    if store_metrics is not None
+                    else 0.0
+                )
                 buffer = slots[slot]
                 spill: dict = {}
                 rows = len(mfg.n_id)
@@ -182,8 +191,13 @@ def _worker_main(
                 if not encode_mfg(mfg, buffer.header, buffer.mfg_ints):
                     spill["mfg"] = mfg
                 t2 = time.perf_counter()
+                mmap_s = (
+                    store_metrics.value("mmap_wait_seconds") - mmap0
+                    if store_metrics is not None
+                    else 0.0
+                )
                 result_q.put(
-                    ("ok", index, worker_id, t1 - t0, t2 - t1, spill or None)
+                    ("ok", index, worker_id, t1 - t0, t2 - t1, mmap_s, spill or None)
                 )
             except BaseException as exc:  # noqa: BLE001 - forwarded verbatim
                 result_q.put(
@@ -438,7 +452,7 @@ class MPPrepareStage(Stage):
             future = self.client.submit(
                 env.index, env.nodes, self.rng_entries(env.index), buffer.slot
             )
-            worker_id, sample_s, slice_s, spill = future.result(
+            worker_id, sample_s, slice_s, mmap_s, spill = future.result(
                 timeout=self.result_timeout
             )
             if spill and "mfg" in spill:
@@ -465,6 +479,10 @@ class MPPrepareStage(Stage):
         env.timings["sample"] = env.timings.get("sample", 0.0) + sample_s
         env.timings["slice"] = env.timings.get("slice", 0.0) + slice_s
         metrics = ctx.metrics
+        if mmap_s > 0.0:
+            # Cold-tier wait measured inside the worker process; folded
+            # into the parent registry for the storage-bound verdict.
+            metrics.counter("mmap_wait_seconds").inc(mmap_s)
         metrics.histogram("mp_result_wait_seconds").observe(
             max(wait_s - sample_s - slice_s, 0.0)
         )

@@ -182,27 +182,49 @@ class SharedArena:
 # Read-only dataset segment
 # ----------------------------------------------------------------------
 class SharedDataset:
-    """CSR topology + feature slab + labels in one shared segment.
+    """CSR topology + feature store in one attachable bundle.
 
-    Workers rebuild a :class:`CSRGraph` and a :class:`FeatureStore` over
-    zero-copy views (``half_precision=None`` preserves the parent's exact
-    fp16 bytes, keeping the determinism contract byte-for-byte).
+    In-RAM stores copy the feature slab and labels into the shared
+    segment; workers rebuild a :class:`FeatureStore` over zero-copy views
+    (``half_precision=None`` preserves the parent's exact fp16 bytes,
+    keeping the determinism contract byte-for-byte).
+
+    Memory-mapped stores (anything exposing ``mmap_spec()``, i.e. the
+    cold tier of :mod:`repro.slicing.memmap_store`) share only the CSR:
+    the picklable slab spec travels alongside the arena spec and each
+    worker **reopens the slab read-only** — the OS page cache is the
+    shared medium, so attaching adds no per-worker feature copies and no
+    copy-on-write growth.
     """
 
-    def __init__(self, arena: SharedArena) -> None:
+    def __init__(
+        self, arena: SharedArena, store_spec: Optional[dict] = None
+    ) -> None:
         self._arena = arena
+        self._store_spec = store_spec
         self.graph = CSRGraph(
             indptr=arena.array("indptr"),
             indices=arena.array("indices"),
         )
-        self.store = FeatureStore(
-            arena.array("features"),
-            arena.array("labels"),
-            half_precision=None,
-        )
+        if store_spec is None:
+            self.store = FeatureStore(
+                arena.array("features"),
+                arena.array("labels"),
+                half_precision=None,
+            )
+        else:
+            from ..slicing.memmap_store import open_store_from_spec
+
+            self.store = open_store_from_spec(store_spec)
 
     @classmethod
-    def create(cls, graph: CSRGraph, store: FeatureStore) -> "SharedDataset":
+    def create(cls, graph: CSRGraph, store) -> "SharedDataset":
+        mmap_spec = getattr(store, "mmap_spec", None)
+        if mmap_spec is not None:
+            arena = SharedArena.create(
+                {"indptr": graph.indptr, "indices": graph.indices}
+            )
+            return cls(arena, store_spec=mmap_spec())
         arena = SharedArena.create(
             {
                 "indptr": graph.indptr,
@@ -214,11 +236,11 @@ class SharedDataset:
         return cls(arena)
 
     def spec(self) -> dict:
-        return self._arena.spec()
+        return {"arena": self._arena.spec(), "store": self._store_spec}
 
     @classmethod
     def attach(cls, spec: dict) -> "SharedDataset":
-        return cls(SharedArena.attach(spec))
+        return cls(SharedArena.attach(spec["arena"]), spec.get("store"))
 
     def nbytes(self) -> int:
         return self._arena.nbytes()

@@ -105,6 +105,9 @@ class EpochStats:
     #: True when sample/slice ran off the caller thread (their times are
     #: busy, not blocking, and must not be counted in the blocking view).
     overlapped: bool = False
+    #: seconds a cold (memory-mapped) feature tier spent faulting/copying
+    #: slab pages this epoch; feeds the storage-bound verdict
+    mmap_wait_s: float = 0.0
     #: per-epoch metric registry (the breakdown's source of truth)
     metrics: Optional[MetricsRegistry] = field(
         default=None, repr=False, compare=False
@@ -184,12 +187,16 @@ class EpochStats:
     def attribution(self, tracer: Optional["Tracer"] = None):
         """Bottleneck :class:`~repro.telemetry.attribution.Attribution`
         for this epoch — blocking shares, gpu idle fraction and the
-        prep-/transfer-/compute-bound verdict; lane utilization is folded
-        in when a tracer that recorded this epoch is supplied."""
+        prep-/transfer-/compute-/storage-bound verdict; lane utilization
+        is folded in when a tracer that recorded this epoch is supplied."""
         from ..telemetry.attribution import attribute_breakdown, attribute_trace
 
         lanes = attribute_trace(tracer) if tracer is not None else None
-        return attribute_breakdown(self.breakdown(), lanes=lanes)
+        stalls = {"mmap_wait_s": self.mmap_wait_s} if self.mmap_wait_s else None
+        return attribute_breakdown(
+            self.breakdown(), lanes=lanes, stalls=stalls,
+            total_s=self.epoch_time or None,
+        )
 
     def verdict(self, tracer: Optional["Tracer"] = None) -> str:
         """The epoch's one-word bottleneck verdict (e.g. ``prep-bound``)."""
@@ -638,6 +645,10 @@ class StagedPipeline:
         )
         device = self.transfer_stage.device if self.transfer_stage else None
         bytes_at_start = device.bytes_transferred if device else 0
+        # Tiered stores write mmap_wait_seconds into the *cumulative*
+        # registry (they are attached once, executor-wide); the per-epoch
+        # share is the delta across this epoch.
+        mmap_wait_at_start = self.ctx.metrics.value("mmap_wait_seconds")
         epoch_start = time.perf_counter()
         run = self.start(batches, stats)
         try:
@@ -657,6 +668,9 @@ class StagedPipeline:
             raise
         run.drain()
         stats.epoch_time = time.perf_counter() - epoch_start
+        stats.mmap_wait_s = (
+            self.ctx.metrics.value("mmap_wait_seconds") - mmap_wait_at_start
+        )
         if device is not None:
             stats.bytes_transferred = device.bytes_transferred - bytes_at_start
         # Fold the per-epoch registry into the pipeline's cumulative one so

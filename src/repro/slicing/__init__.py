@@ -1,10 +1,24 @@
-"""Feature/label slicing and the host-memory feature store."""
+"""Feature/label slicing and the host-memory / tiered feature stores."""
 
+from .memmap_store import (
+    MemmapFeatureStore,
+    TieredFeatureStore,
+    open_store_from_spec,
+    write_slab,
+)
+from .quantize import QuantizationParams, dequantize_rows, quantize_uint8
 from .slicer import SlicedBatch, slice_batch_fused, slice_batch_reference
 from .store import FeatureStore
 
 __all__ = [
     "FeatureStore",
+    "MemmapFeatureStore",
+    "TieredFeatureStore",
+    "open_store_from_spec",
+    "write_slab",
+    "QuantizationParams",
+    "quantize_uint8",
+    "dequantize_rows",
     "SlicedBatch",
     "slice_batch_reference",
     "slice_batch_fused",

@@ -1,0 +1,121 @@
+"""Quantized feature representations with fused dequantize-on-slice.
+
+FastSample (PAPERS.md) argues feature compression is the key lever for
+billion-scale graphs: at papers100M scale the fp16 feature slab alone
+exceeds host RAM, so the cold tier stores either
+
+- ``float16`` — the baseline's conventional optimization (iii), 2 bytes
+  per value, exact for our synthetic stand-ins (they are generated in
+  fp16); or
+- ``uint8`` per-channel affine codes — 1 byte per value plus two fp32
+  parameters per *channel* (amortized to nothing per row), for a further
+  2x over fp16 at a bounded reconstruction error.
+
+The affine code for channel ``c`` is ``code = round((x - offset_c) /
+scale_c)`` with ``scale_c = (max_c - min_c) / 255`` and ``offset_c =
+min_c``; reconstruction is ``x_hat = code * scale_c + offset_c``, so the
+worst-case per-value error is ``scale_c / 2`` — half a quantization step.
+
+:func:`dequantize_rows` is the hot-path half: given already-gathered code
+rows it reconstructs **directly into the caller's output buffer** (a
+pinned staging slot on the training path) with two in-place ufunc
+applications — the reconstructed row never exists anywhere but its final
+destination, preserving the zero-intermediate slicing contract of
+:meth:`~repro.slicing.store.FeatureStore.slice_features`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "QuantizationParams",
+    "quantize_uint8",
+    "dequantize_rows",
+    "max_quantization_error",
+]
+
+
+@dataclass(frozen=True)
+class QuantizationParams:
+    """Per-channel affine dequantization parameters (``x = code*scale+offset``)."""
+
+    scale: np.ndarray  # (F,) float32, > 0
+    offset: np.ndarray  # (F,) float32
+
+    def __post_init__(self) -> None:
+        scale = np.ascontiguousarray(self.scale, dtype=np.float32)
+        offset = np.ascontiguousarray(self.offset, dtype=np.float32)
+        if scale.ndim != 1 or scale.shape != offset.shape:
+            raise ValueError("scale/offset must be matching 1-D channel vectors")
+        if not np.all(scale > 0):
+            raise ValueError("scale entries must be positive")
+        object.__setattr__(self, "scale", scale)
+        object.__setattr__(self, "offset", offset)
+
+    @property
+    def num_channels(self) -> int:
+        return self.scale.shape[0]
+
+    def nbytes(self) -> int:
+        return self.scale.nbytes + self.offset.nbytes
+
+
+def quantize_uint8(
+    features: np.ndarray,
+) -> tuple[np.ndarray, QuantizationParams]:
+    """Per-channel affine uint8 quantization of a (N, F) feature matrix.
+
+    Channel statistics are computed in float32 regardless of the input
+    dtype (fp16 min/max would already be exact, but the scale division is
+    not). Constant channels get ``scale = 1`` so dequantization reproduces
+    them exactly (every code is 0).
+    """
+    if features.ndim != 2:
+        raise ValueError("features must be 2-D (nodes x channels)")
+    x = np.asarray(features, dtype=np.float32)
+    lo = x.min(axis=0) if len(x) else np.zeros(x.shape[1], np.float32)
+    hi = x.max(axis=0) if len(x) else np.zeros(x.shape[1], np.float32)
+    scale = (hi - lo) / 255.0
+    scale[scale <= 0] = 1.0
+    params = QuantizationParams(scale=scale, offset=lo)
+    codes = np.rint((x - params.offset) / params.scale)
+    np.clip(codes, 0.0, 255.0, out=codes)
+    return codes.astype(np.uint8), params
+
+
+def dequantize_rows(
+    codes: np.ndarray,
+    params: QuantizationParams,
+    out: Optional[np.ndarray] = None,
+    dtype=np.float16,
+) -> np.ndarray:
+    """Reconstruct feature rows from uint8 codes, fused into ``out``.
+
+    ``out`` may be float16 or float32 (e.g. a pinned-slot view); the two
+    in-place ufuncs write the reconstruction straight into it — no
+    intermediate float array is ever materialized. With ``out=None`` a
+    fresh ``dtype`` array is allocated (the cold-start path).
+    """
+    if codes.ndim != 2 or codes.shape[1] != params.num_channels:
+        raise ValueError(
+            f"codes shape {codes.shape} does not match "
+            f"{params.num_channels} channels"
+        )
+    if out is None:
+        out = np.empty(codes.shape, dtype=np.dtype(dtype))
+    elif out.shape != codes.shape:
+        raise ValueError(f"out shape {out.shape} != codes shape {codes.shape}")
+    # uint8 * f32 broadcasts to f32; the cast into a float16 ``out`` is
+    # same-kind, so both target dtypes take the fused two-ufunc path.
+    np.multiply(codes, params.scale, out=out)
+    np.add(out, params.offset, out=out)
+    return out
+
+
+def max_quantization_error(params: QuantizationParams) -> float:
+    """Worst-case absolute reconstruction error: half the largest step."""
+    return float(params.scale.max()) / 2.0

@@ -89,6 +89,8 @@ class FeatureStore:
     ) -> np.ndarray:
         """Gather label entries for ``n_id`` (the batch targets)."""
         if out is not None:
+            if out.shape != (len(n_id),):
+                raise ValueError(f"out shape {out.shape} != ({len(n_id)},)")
             self._check_ids(n_id)
             np.take(self.labels, n_id, out=out, mode="clip")
             return out

@@ -9,7 +9,8 @@ reading.  Given the blocking-perspective stage breakdown an
 it produces an :class:`Attribution`: per-stage shares of the caller's
 epoch time, per-lane utilization, a stall/wait decomposition, and a
 one-line **verdict** — ``prep-bound`` / ``transfer-bound`` /
-``compute-bound`` — with the supporting numbers.
+``compute-bound``, refined to ``storage-bound`` when cold-tier mmap
+waits dominate a prep-bound epoch — with the supporting numbers.
 
 Three entry points, one per telemetry granularity:
 
@@ -43,12 +44,16 @@ __all__ = [
 #: verdict vocabulary, keyed by the winning blocking share
 VERDICTS = {"prep": "prep-bound", "transfer": "transfer-bound", "train": "compute-bound"}
 
+#: a prep-bound epoch is re-labelled storage-bound when cold-tier mmap
+#: waits account for at least this fraction of the blocking prep seconds
+STORAGE_BOUND_THRESHOLD = 0.5
+
 
 @dataclass
 class Attribution:
     """One bottleneck reading: shares, verdict, and supporting telemetry."""
 
-    verdict: str  # prep-bound | transfer-bound | compute-bound
+    verdict: str  # prep-bound | transfer-bound | compute-bound | storage-bound
     bound_stage: str  # prep | transfer | train
     #: blocking share of epoch time per stage group (caller's perspective)
     shares: Dict[str, float]
@@ -92,16 +97,36 @@ def attribute_breakdown(
     breakdown: Dict[str, float],
     lanes: Optional[Dict[str, float]] = None,
     stalls: Optional[Dict[str, float]] = None,
+    total_s: Optional[float] = None,
 ) -> Attribution:
-    """Verdict for one epoch's blocking-perspective stage breakdown."""
+    """Verdict for one epoch's blocking-perspective stage breakdown.
+
+    ``total_s`` (the epoch's wall seconds) lets stall *seconds* be
+    compared against blocking *shares*: when the cold feature tier's
+    ``mmap_wait_s`` stall dominates the prep seconds of a prep-bound
+    epoch, the verdict refines to ``storage-bound`` — the fix is tier
+    sizing (more hot rows, quantization, faster disk), not more
+    prepare workers.
+    """
     shares = _blocking_shares(breakdown)
     bound_stage = max(shares, key=lambda k: shares[k])
     train_share = shares["train"]
     gpu_idle = min(max(1.0 - train_share, 0.0), 1.0)
     lanes = dict(lanes or {})
+    stalls = dict(stalls or {})
+
+    verdict = VERDICTS[bound_stage]
+    storage_fraction = 0.0
+    if bound_stage == "prep" and total_s:
+        prep_seconds = shares["prep"] * total_s
+        mmap_wait = stalls.get("mmap_wait_s", 0.0)
+        if prep_seconds > 0 and mmap_wait > 0:
+            storage_fraction = min(mmap_wait / prep_seconds, 1.0)
+            if storage_fraction >= STORAGE_BOUND_THRESHOLD:
+                verdict = "storage-bound"
 
     detail = (
-        f"{VERDICTS[bound_stage]} "
+        f"{verdict} "
         f"({bound_stage} blocks {100 * shares[bound_stage]:.0f}% of epoch time"
     )
     if bound_stage == "prep" and lanes:
@@ -109,10 +134,14 @@ def attribute_breakdown(
         if cpu_lanes:
             busiest = max(cpu_lanes, key=lambda k: cpu_lanes[k])
             detail = (
-                f"{VERDICTS[bound_stage]} on {busiest} "
+                f"{verdict} on {busiest} "
                 f"({bound_stage} blocks {100 * shares[bound_stage]:.0f}% of epoch time"
             )
     detail += f"), gpu idle {100 * gpu_idle:.0f}%"
+    if verdict == "storage-bound":
+        detail += (
+            f"; mmap waits are {100 * storage_fraction:.0f}% of prep seconds"
+        )
     if bound_stage == "prep":
         # Multiprocess prepare: cpu:mp<i> lanes carry per-worker-process
         # busy fractions, so a prep-bound verdict can name core starvation
@@ -128,7 +157,7 @@ def attribute_breakdown(
             )
 
     return Attribution(
-        verdict=VERDICTS[bound_stage],
+        verdict=verdict,
         bound_stage=bound_stage,
         shares=shares,
         gpu_idle_fraction=gpu_idle,
@@ -167,6 +196,12 @@ def _stalls_from_metrics(metrics: Iterable[dict]) -> Dict[str, float]:
             # of worker busy time (already inside batch_prep).
             stalls["mp_result_wait_s"] = (
                 stalls.get("mp_result_wait_s", 0.0) + entry.get("sum", 0.0)
+            )
+        elif name == "mmap_wait_seconds":
+            # Cold-tier page-fault/copy time (a counter, not a histogram):
+            # the signal behind the storage-bound verdict.
+            stalls["mmap_wait_s"] = (
+                stalls.get("mmap_wait_s", 0.0) + entry.get("value", 0.0)
             )
     return stalls
 
@@ -213,7 +248,9 @@ def attribute_report(doc: dict) -> Attribution:
     metrics = doc.get("metrics") or []
     stalls = _stalls_from_metrics(metrics)
     lanes = _mp_lanes_from_metrics(metrics, total_s=total)
-    return attribute_breakdown(combined, lanes=lanes or None, stalls=stalls)
+    return attribute_breakdown(
+        combined, lanes=lanes or None, stalls=stalls, total_s=total
+    )
 
 
 def render_attribution(attr: Attribution, epochs: Optional[List[dict]] = None) -> str:

@@ -87,9 +87,14 @@ def sampled_inference(
         raise ValueError(f"unknown executor {executor!r}")
     model.eval()
     nodes = np.asarray(nodes, dtype=np.int64)
-    # half_precision=None: wrap the caller's array without changing dtype
-    # or values; labels are a placeholder (inference consumes none).
-    store = FeatureStore(features, half_precision=None)
+    if hasattr(features, "slice_features"):
+        # Already a store (e.g. a TieredFeatureStore): use it directly so
+        # inference slices through the same tier hierarchy as training.
+        store = features
+    else:
+        # half_precision=None: wrap the caller's array without changing
+        # dtype or values; labels are a placeholder (inference needs none).
+        store = FeatureStore(features, half_precision=None)
     if sampler is not None:
         factory = lambda: sampler  # noqa: E731 - shared instance: 1 worker
         num_workers = 1

@@ -82,6 +82,22 @@ class Trainer:
         workspace buffer pool recycled across batches; ``"legacy"`` — the
         original kernels.  Byte-identical training results either way (the
         twin-kernel contract; pinned by the determinism tests).
+    feature_tier:
+        ``"ram"`` (default) — the in-RAM fp16 :class:`FeatureStore`;
+        ``"mmap"`` — features live in an on-disk slab opened through a
+        :class:`~repro.slicing.memmap_store.TieredFeatureStore` (RAM-hot
+        rows for the ``hot_rows`` highest-degree nodes, mmap-cold rest) —
+        training results are byte-identical to ``"ram"`` per seed;
+        ``"mmap-quant"`` — same hierarchy over uint8 per-channel codes
+        with fused dequantize-on-slice (bounded loss delta).
+    hot_rows:
+        Hot-tier size for the mmap tiers (default ``num_nodes // 8``;
+        0 disables the hot tier entirely).  Ignored by ``"ram"``.
+    slab_dir:
+        Directory holding (or receiving) the feature slab for the mmap
+        tiers.  Defaults to a temporary directory removed on
+        :meth:`shutdown`; pass an explicit path to reuse slabs across
+        runs.
     """
 
     def __init__(
@@ -99,6 +115,9 @@ class Trainer:
         probes: Optional[ProbeSampler] = None,
         prepare_workers: Optional[int] = None,
         mp_start_method: str = "spawn",
+        feature_tier: str = "ram",
+        hot_rows: Optional[int] = None,
+        slab_dir=None,
     ) -> None:
         if executor not in ("serial", "pipelined", "staged", "multiprocess"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -108,6 +127,8 @@ class Trainer:
             raise ValueError(f"unknown infer_executor {infer_executor!r}")
         if compute not in ("fused", "legacy"):
             raise ValueError(f"unknown compute mode {compute!r}")
+        if feature_tier not in ("ram", "mmap", "mmap-quant"):
+            raise ValueError(f"unknown feature tier {feature_tier!r}")
         self.compute = compute
         self.dataset = dataset
         self.config = config
@@ -118,7 +139,14 @@ class Trainer:
         self.infer_executor = infer_executor
         self.num_workers = num_workers
         self.prepare_workers = prepare_workers or num_workers
-        self.store = FeatureStore(dataset.features, dataset.labels)
+        self.feature_tier = feature_tier
+        self._slab_tmpdir = None
+        if feature_tier == "ram":
+            self.store = FeatureStore(dataset.features, dataset.labels)
+        else:
+            self.store = self._build_tiered_store(
+                feature_tier, hot_rows, slab_dir
+            )
 
         model_rng = np.random.default_rng(np.random.SeedSequence([seed, 101]))
         self.model: Module = build_model(
@@ -184,6 +212,49 @@ class Trainer:
         )
         if self.probes is not None and self._workspace is not None:
             self._workspace.register_probes(self.probes)
+        # Tiered stores report hit/miss/bytes and mmap-wait into the
+        # executor's registry (so EpochStats attribution sees them) and
+        # expose tier-health probes to the monitor.
+        attach = getattr(self.store, "attach_metrics", None)
+        if attach is not None:
+            attach(self._executor.metrics)
+        if self.probes is not None and hasattr(self.store, "register_probes"):
+            self.store.register_probes(self.probes)
+
+    def _build_tiered_store(self, feature_tier, hot_rows, slab_dir):
+        """Write/reuse the dataset slab and open the tier hierarchy."""
+        import tempfile
+
+        from ..datasets.slab import dataset_slab_path, write_dataset_slab
+        from ..runtime.feature_cache import hottest_nodes
+        from ..slicing.memmap_store import MemmapFeatureStore, TieredFeatureStore
+
+        if slab_dir is None:
+            self._slab_tmpdir = tempfile.TemporaryDirectory(prefix="repro-slab-")
+            slab_dir = self._slab_tmpdir.name
+        encoding = "uint8" if feature_tier == "mmap-quant" else "raw"
+        slab_path = dataset_slab_path(slab_dir, self.dataset.name, encoding)
+        if not slab_path.exists():
+            write_dataset_slab(self.dataset, slab_path, encoding=encoding)
+        cold = MemmapFeatureStore(slab_path)
+        # Slab paths key on dataset *name*; a reused slab_dir holding the
+        # same dataset at a different scale would silently train on stale
+        # features. Shape mismatch is the cheap tell.
+        if cold.num_nodes != self.dataset.num_nodes:
+            raise ValueError(
+                f"slab {slab_path} holds {cold.num_nodes} nodes but dataset "
+                f"{self.dataset.name!r} has {self.dataset.num_nodes}; "
+                "point slab_dir at a fresh directory"
+            )
+        if hot_rows is None:
+            hot_rows = cold.num_nodes // 8
+        hot_rows = min(int(hot_rows), cold.num_nodes)
+        hot_ids = (
+            hottest_nodes(self.dataset.graph, hot_rows)
+            if hot_rows > 0
+            else np.empty(0, dtype=np.int64)
+        )
+        return TieredFeatureStore(cold, hot_ids)
 
     # ------------------------------------------------------------------
     def _train_fn(self) -> Callable[[DeviceBatch], float]:
@@ -244,6 +315,7 @@ class Trainer:
                 "prepare_workers": self.prepare_workers,
                 "seed": self.seed,
                 "compute": self.compute,
+                "feature_tier": self.feature_tier,
             },
         )
         for epoch, stats in enumerate(result.epoch_stats):
@@ -266,7 +338,9 @@ class Trainer:
         overlapped = self.infer_executor != "serial"
         return sampled_inference(
             self.model,
-            self.store.features,
+            # Tiered stores have no flat ``.features``; sampled_inference
+            # accepts store-like objects and slices through the hierarchy.
+            getattr(self.store, "features", self.store),
             self.dataset.graph,
             nodes,
             fanouts,
@@ -385,3 +459,6 @@ class Trainer:
         if close is not None:  # multiprocess: stop workers, free shm segments
             close()
         self.device.shutdown()
+        if self._slab_tmpdir is not None:  # trainer-owned slab scratch dir
+            self._slab_tmpdir.cleanup()
+            self._slab_tmpdir = None

@@ -1,0 +1,100 @@
+"""Contract tests for ``benchmarks/bench_feature_tier.py`` and its artifact.
+
+Mirrors the other bench contracts: a fresh ``--smoke`` run must satisfy
+the schema, and the committed full-mode ``BENCH_feature_tier.json`` must
+stay valid and keep ISSUE 10's acceptance bars — mmap slicing at >= 0.5x
+in-RAM throughput while serving >= 4x the graph per GB of RAM, uint8
+codes halving bytes-per-row vs fp16, and the parity section's
+byte-identical/bounded-drift guarantees (enforced by the schema itself).
+The parity gate also has direct unit coverage here so a schema regression
+can't silently drop it.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(BENCH_DIR))
+
+import bench_feature_tier  # noqa: E402
+import check_bench_json  # noqa: E402
+
+ALL_VARIANTS = {"ram", "mmap", "mmap-tiered", "mmap-quant"}
+
+
+@pytest.fixture(scope="module")
+def smoke_doc(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_feature_tier.json"
+    assert bench_feature_tier.main(["--smoke", "--output", str(out)]) == 0
+    return json.loads(out.read_text()), out
+
+
+class TestSmokeRun:
+    def test_smoke_artifact_satisfies_schema(self, smoke_doc):
+        doc, _ = smoke_doc
+        assert check_bench_json.validate(doc) == []
+        assert doc["mode"] == "smoke"
+
+    def test_smoke_covers_every_tier(self, smoke_doc):
+        doc, _ = smoke_doc
+        assert {r["variant"] for r in doc["rows"]} == ALL_VARIANTS
+
+    def test_parity_holds_on_this_host(self, smoke_doc):
+        """Not just the committed numbers: ram vs mmap byte-identity must
+        reproduce wherever the suite runs."""
+        doc, _ = smoke_doc
+        parity = doc["parity"]
+        assert parity["ram_vs_mmap_identical_serial"] is True
+        assert parity["ram_vs_mmap_identical_multiprocess"] is True
+        assert 0 <= parity["quant_final_loss_delta"] < 1e-2
+
+    def test_cli_roundtrip(self, smoke_doc):
+        _, path = smoke_doc
+        assert check_bench_json.main([str(path)]) == 0
+
+
+class TestCommittedArtifact:
+    @pytest.fixture(scope="class")
+    def committed(self):
+        path = REPO_ROOT / "BENCH_feature_tier.json"
+        assert path.exists(), "committed BENCH_feature_tier.json missing"
+        return json.loads(path.read_text())
+
+    def test_valid_full_mode(self, committed):
+        assert check_bench_json.validate(committed, min_reps=5) == []
+        assert committed["mode"] == "full"
+
+    def test_capacity_and_throughput_bars(self, committed):
+        """ISSUE 10's acceptance bars on the committed numbers."""
+        for name, entry in committed["summary"].items():
+            assert entry["mmap_slice_relative_throughput"] >= 0.5, name
+            assert entry["mmap_graph_per_gb_gain"] >= 4.0, name
+            assert entry["quant_bytes_per_row_reduction"] >= 2.0, name
+
+
+class TestParityValidation:
+    """The schema enforces the parity gate — pin that it really rejects."""
+
+    @pytest.fixture()
+    def doc(self):
+        return json.loads((REPO_ROOT / "BENCH_feature_tier.json").read_text())
+
+    def test_missing_parity_section_rejected(self, doc):
+        del doc["parity"]
+        assert any("parity" in e for e in check_bench_json.validate(doc))
+
+    def test_non_identical_executor_rejected(self, doc):
+        doc["parity"]["ram_vs_mmap_identical_multiprocess"] = False
+        assert check_bench_json.validate(doc) != []
+
+    def test_excessive_loss_delta_rejected(self, doc):
+        doc["parity"]["quant_final_loss_delta"] = 0.5
+        errors = check_bench_json.validate(doc)
+        assert any("quant_final_loss_delta" in e for e in errors)
+
+    def test_storage_bound_is_a_known_verdict(self):
+        assert "storage-bound" in check_bench_json.ATTRIBUTION_VERDICTS

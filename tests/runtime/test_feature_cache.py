@@ -60,6 +60,45 @@ class TestHottestNodes:
             hottest_nodes(small_products.graph, small_products.num_nodes + 1)
 
 
+class TestResidentSet:
+    def test_rows_kept_in_store_dtype(self, setup):
+        """The resident block stays fp16 (the store's dtype): half the
+        one-time upload and half the device footprint; assembly into the
+        fp32 batch matrix upcasts each hit exactly."""
+        dataset, store, _ = setup
+        device = Device()
+        cache = DeviceFeatureCache(device, store, hottest_nodes(dataset.graph, 100))
+        assert cache.rows.dtype == store.feature_dtype == np.float16
+        np.testing.assert_array_equal(
+            cache.rows, store.slice_features(hottest_nodes(dataset.graph, 100))
+        )
+        device.shutdown()
+
+    def test_row_map_is_int32(self, setup):
+        dataset, store, _ = setup
+        device = Device()
+        cache = DeviceFeatureCache(device, store, hottest_nodes(dataset.graph, 100))
+        assert cache._row_of.dtype == np.int32
+        device.shutdown()
+
+    def test_transfer_uses_active_workspace(self, setup):
+        """With a workspace in scope, the assembled fp32 matrix comes from
+        the pool: the second batch reuses the first batch's buffer."""
+        from repro.tensor import Workspace, workspace_scope
+
+        dataset, store, batch = setup
+        device = Device()
+        cache = DeviceFeatureCache(device, store, hottest_nodes(dataset.graph, 100))
+        ws = Workspace()
+        with workspace_scope(ws):
+            transfer_batch_with_cache(device, cache, batch)
+            assert ws.stats["misses"] >= 1
+            ws.release_all()
+            transfer_batch_with_cache(device, cache, batch)
+            assert ws.stats["hits"] >= 1
+        device.shutdown()
+
+
 class TestCacheTransfers:
     def test_assembled_features_match_uncached(self, setup):
         dataset, store, batch = setup

@@ -106,6 +106,24 @@ class TestBreakdownAccounting:
         assert frac["batch_prep"] == 0.0
         assert sum(frac.values()) == pytest.approx(1.0)
 
+    def test_storage_bound_attribution_from_mmap_wait(self):
+        """The per-epoch mmap-wait delta refines prep-bound to
+        storage-bound when slab faults dominate prep seconds."""
+        stats = EpochStats(
+            epoch_time=10.0,
+            sample_time=4.0,
+            slice_time=3.0,
+            transfer_time=0.5,
+            train_time=2.0,
+            mmap_wait_s=5.0,
+        )
+        attr = stats.attribution()
+        assert attr.verdict == "storage-bound"
+        assert attr.stalls["mmap_wait_s"] == pytest.approx(5.0)
+        # Same epoch served from RAM stays plain prep-bound.
+        stats.mmap_wait_s = 0.0
+        assert stats.attribution().verdict == "prep-bound"
+
     def test_breakdown_serial_counts_prep_as_blocking(self):
         stats = EpochStats(
             epoch_time=2.0,

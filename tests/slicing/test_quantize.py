@@ -1,0 +1,92 @@
+"""Per-channel affine uint8 quantization and fused dequantize-on-slice."""
+
+import numpy as np
+import pytest
+
+from repro.slicing import QuantizationParams, dequantize_rows, quantize_uint8
+from repro.slicing.quantize import max_quantization_error
+
+
+@pytest.fixture()
+def features(rng):
+    return rng.normal(size=(200, 16)).astype(np.float32)
+
+
+class TestQuantizeUint8:
+    def test_codes_are_uint8(self, features):
+        codes, params = quantize_uint8(features)
+        assert codes.dtype == np.uint8
+        assert codes.shape == features.shape
+        assert params.num_channels == features.shape[1]
+
+    def test_round_trip_within_half_step(self, features):
+        codes, params = quantize_uint8(features)
+        recon = dequantize_rows(codes, params, dtype=np.float32)
+        bound = max_quantization_error(params) + 1e-6
+        assert np.max(np.abs(recon - features)) <= bound
+
+    def test_channel_extremes_are_exact(self, features):
+        # min maps to code 0, max to 255; affine reconstruction recovers
+        # both endpoints up to f32 rounding.
+        codes, params = quantize_uint8(features)
+        recon = dequantize_rows(codes, params, dtype=np.float32)
+        np.testing.assert_allclose(
+            recon.min(axis=0), features.min(axis=0), atol=1e-5
+        )
+
+    def test_constant_channel_reproduced_exactly(self):
+        features = np.full((50, 3), 2.5, dtype=np.float32)
+        codes, params = quantize_uint8(features)
+        assert np.all(codes == 0)
+        recon = dequantize_rows(codes, params, dtype=np.float32)
+        np.testing.assert_array_equal(recon, features)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            quantize_uint8(np.zeros(10, dtype=np.float32))
+
+
+class TestQuantizationParams:
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            QuantizationParams(scale=np.ones(3), offset=np.zeros(4))
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            QuantizationParams(scale=np.array([1.0, 0.0]), offset=np.zeros(2))
+
+    def test_coerced_to_float32(self):
+        params = QuantizationParams(
+            scale=np.ones(2, dtype=np.float64), offset=np.zeros(2, dtype=np.int64)
+        )
+        assert params.scale.dtype == np.float32
+        assert params.offset.dtype == np.float32
+
+
+class TestDequantizeRows:
+    def test_writes_into_float16_out(self, features):
+        codes, params = quantize_uint8(features)
+        out = np.empty(codes.shape, dtype=np.float16)
+        result = dequantize_rows(codes, params, out=out)
+        assert result is out
+        expected = dequantize_rows(codes, params, dtype=np.float32)
+        np.testing.assert_allclose(out, expected, rtol=1e-2, atol=1e-2)
+
+    def test_writes_into_float32_out(self, features):
+        codes, params = quantize_uint8(features)
+        out = np.empty(codes.shape, dtype=np.float32)
+        assert dequantize_rows(codes, params, out=out) is out
+
+    def test_default_dtype_is_float16(self, features):
+        codes, params = quantize_uint8(features)
+        assert dequantize_rows(codes, params).dtype == np.float16
+
+    def test_out_shape_validated(self, features):
+        codes, params = quantize_uint8(features)
+        with pytest.raises(ValueError):
+            dequantize_rows(codes, params, out=np.empty((1, 1), np.float32))
+
+    def test_channel_count_validated(self, features):
+        codes, params = quantize_uint8(features)
+        with pytest.raises(ValueError):
+            dequantize_rows(codes[:, :4], params)

@@ -51,6 +51,10 @@ class TestFeatureStore:
         with pytest.raises(ValueError):
             store.slice_features(np.arange(5), out=np.empty((4, store.num_features)))
 
+    def test_labels_out_shape_validated(self, store):
+        with pytest.raises(ValueError):
+            store.slice_labels(np.arange(5), out=np.empty(4, dtype=np.int64))
+
     def test_labels_slice(self, store):
         ids = np.array([0, 5, 9])
         np.testing.assert_array_equal(store.slice_labels(ids), store.labels[ids])

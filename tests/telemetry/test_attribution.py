@@ -67,6 +67,43 @@ class TestAttributeBreakdown:
         )
         assert "on cpu:0" in attr.detail
 
+    def test_storage_bound_when_mmap_waits_dominate_prep(self):
+        # 10 s epoch, 7 s of it prep-blocked, 5 s of that faulting slab
+        # pages: the fix is tier sizing, not more prepare workers.
+        attr = attribute_breakdown(
+            {"batch_prep": 0.7, "transfer": 0.05, "train": 0.2, "prep_wait": 0.0},
+            stalls={"mmap_wait_s": 5.0},
+            total_s=10.0,
+        )
+        assert attr.verdict == "storage-bound"
+        assert attr.bound_stage == "prep"  # still the prep stage at fault
+        assert "storage-bound" in attr.detail
+        assert "mmap waits" in attr.detail
+
+    def test_prep_bound_when_mmap_waits_are_minor(self):
+        attr = attribute_breakdown(
+            {"batch_prep": 0.7, "transfer": 0.05, "train": 0.2, "prep_wait": 0.0},
+            stalls={"mmap_wait_s": 0.5},
+            total_s=10.0,
+        )
+        assert attr.verdict == "prep-bound"
+
+    def test_no_storage_verdict_without_epoch_seconds(self):
+        # Stall seconds can't be compared to shares without total_s.
+        attr = attribute_breakdown(
+            {"batch_prep": 0.7, "transfer": 0.05, "train": 0.2, "prep_wait": 0.0},
+            stalls={"mmap_wait_s": 5.0},
+        )
+        assert attr.verdict == "prep-bound"
+
+    def test_compute_bound_never_refines_to_storage(self):
+        attr = attribute_breakdown(
+            {"batch_prep": 0.1, "transfer": 0.1, "train": 0.7, "prep_wait": 0.05},
+            stalls={"mmap_wait_s": 9.0},
+            total_s=10.0,
+        )
+        assert attr.verdict == "compute-bound"
+
     def test_to_doc_round_trip(self):
         import json
 
